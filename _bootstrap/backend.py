@@ -1,0 +1,91 @@
+"""Minimal, dependency-free PEP 517/660 build backend.
+
+The target environment has no `wheel` package (and the hook subprocess may
+not see setuptools), so the stock setuptools backend cannot produce
+(editable) wheels.  An editable wheel is trivial, though: a ``.pth`` file
+pointing at ``src`` plus metadata, zipped up.  This backend writes those by
+hand; regular wheel/sdist builds delegate to setuptools lazily.
+"""
+
+import base64
+import hashlib
+import os
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+DIST = f"{NAME}-{VERSION}"
+
+_METADATA = (
+    "Metadata-Version: 2.1\n"
+    f"Name: {NAME}\n"
+    f"Version: {VERSION}\n"
+    "Requires-Dist: numpy>=1.24\n"
+).encode()
+
+_WHEEL_META = (
+    "Wheel-Version: 1.0\n"
+    "Generator: repro-bootstrap\n"
+    "Root-Is-Purelib: true\n"
+    "Tag: py3-none-any\n"
+).encode()
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    from setuptools import build_meta as _orig
+
+    return _orig.build_sdist(sdist_directory, config_settings)
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    from setuptools import build_meta as _orig
+
+    return _orig.build_wheel(wheel_directory, config_settings, metadata_directory)
+
+
+def prepare_metadata_for_build_editable(metadata_directory, config_settings=None):
+    dist_info = os.path.join(metadata_directory, f"{DIST}.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "wb") as fh:
+        fh.write(_METADATA)
+    with open(os.path.join(dist_info, "WHEEL"), "wb") as fh:
+        fh.write(_WHEEL_META)
+    return f"{DIST}.dist-info"
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(digest).rstrip(b"=").decode()
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(here, "src")
+    files = {
+        f"__editable__.{DIST}.pth": (src + "\n").encode(),
+        f"{DIST}.dist-info/METADATA": _METADATA,
+        f"{DIST}.dist-info/WHEEL": _WHEEL_META,
+    }
+    record_name = f"{DIST}.dist-info/RECORD"
+    rows = [f"{name},{_record_hash(data)},{len(data)}" for name, data in files.items()]
+    rows.append(f"{record_name},,")
+    files[record_name] = ("\n".join(rows) + "\n").encode()
+    wheel_name = f"{DIST}-py3-none-any.whl"
+    with zipfile.ZipFile(
+        os.path.join(wheel_directory, wheel_name), "w", zipfile.ZIP_DEFLATED
+    ) as zf:
+        for name, data in files.items():
+            zf.writestr(name, data)
+    return wheel_name

@@ -1,0 +1,49 @@
+"""Ablation — the 9/16 maximum-assignable-capacity restriction.
+
+The cap (72 of 128 ways) shrinks the profiler hardware (Table II) but can
+in principle starve a single dominant workload.  This bench quantifies the
+cost on the Monte Carlo mixes: predicted misses of the Unrestricted
+algorithm with and without the cap.
+"""
+
+from benchmarks.common import bench_config, once
+from repro.analysis import collect_profiles, format_table
+from repro.partitioning import equal_partition, predicted_misses, unrestricted_partition
+from repro.workloads import random_mixes
+
+
+def _run(cfg, num_mixes=150):
+    curves = collect_profiles(config=cfg)
+    total = cfg.l2.total_ways
+    sums = {"uncapped": 0.0, "capped": 0.0, "equal": 0.0}
+    for mix in random_mixes(num_mixes, cfg.num_cores, seed=42):
+        cs = [curves[n] for n in mix.names]
+        sums["uncapped"] += predicted_misses(cs, unrestricted_partition(cs, total))
+        sums["capped"] += predicted_misses(
+            cs,
+            unrestricted_partition(cs, total, max_ways_per_core=cfg.max_ways_per_core),
+        )
+        sums["equal"] += predicted_misses(cs, equal_partition(cfg.num_cores, total))
+    return sums
+
+
+def test_capacity_cap_costs_little(benchmark):
+    cfg = bench_config()
+    sums = once(benchmark, lambda: _run(cfg))
+    rows = [
+        ("Unrestricted, no cap", 1.0),
+        ("Unrestricted, 9/16 cap", sums["capped"] / sums["uncapped"]),
+        ("Equal shares", sums["equal"] / sums["uncapped"]),
+    ]
+    print()
+    print(
+        format_table(
+            ["Allocation", "Relative predicted misses"],
+            rows,
+            title="Ablation — cost of the 9/16 maximum-assignable-capacity cap",
+            float_format="{:.4f}",
+        )
+    )
+    # the cap must cost almost nothing (it motivates the cheap profiler)
+    assert sums["capped"] / sums["uncapped"] < 1.02
+    assert sums["equal"] / sums["uncapped"] > 1.02

@@ -1,0 +1,43 @@
+"""Ablation — repartitioning epoch length sensitivity.
+
+The paper fixes the epoch at 100 M cycles.  Too-short epochs decide from
+unconverged stack-distance histograms (deep pools need several traversals
+to show their reuse); too-long epochs react slowly to phase changes.  This
+bench sweeps the epoch length on one deep-pool-heavy mix.
+"""
+
+from benchmarks.common import bench_config, detailed_settings, once
+from repro.analysis import format_table
+from repro.sim import run_mix
+from repro.workloads import TABLE_III_SETS
+
+EPOCHS = (500_000, 1_500_000, 3_000_000)
+
+
+def _run():
+    settings = detailed_settings(seed=7)
+    rows = []
+    for epoch in EPOCHS:
+        cfg = bench_config(epoch_cycles=epoch)
+        result = run_mix(TABLE_III_SETS[4], "bank-aware", cfg, settings)
+        mpi = result.total_misses / max(result.total_instructions, 1)
+        rows.append((epoch, mpi, result.mean_cpi, len(result.epochs)))
+    return rows
+
+
+def test_epoch_length_sweep(benchmark):
+    rows = once(benchmark, _run)
+    print()
+    print(
+        format_table(
+            ["Epoch (cycles)", "Misses/instr", "Mean CPI", "Repartitions"],
+            rows,
+            title="Ablation — epoch length sensitivity (Set 5)",
+            float_format="{:.4f}",
+        )
+    )
+    mpis = [r[1] for r in rows]
+    # longer, better-informed epochs must not be dramatically worse than
+    # the shortest; typically they are better (converged histograms)
+    assert min(mpis[1:]) <= mpis[0] * 1.05
+    assert all(r[3] >= 1 for r in rows)

@@ -1,0 +1,47 @@
+"""Ablation — intra-partition data placement (DNUCA chain vs. Parallel).
+
+The paper aggregates a partition's banks with Parallel placement; the
+machine remains a DNUCA, so hot lines can instead gravitate to the
+partition's nearest bank (chain placement).  This bench compares both under
+the Equal-partitions scheme: misses barely move, CPI gains come from the
+latency of hits landing in the Local bank.
+"""
+
+from dataclasses import replace
+
+from benchmarks.common import bench_config, detailed_settings, once
+from repro.analysis import format_table
+from repro.sim import run_mix
+from repro.workloads import TABLE_III_SETS
+
+
+def _run():
+    cfg = bench_config(epoch_cycles=2_000_000)
+    settings = detailed_settings(seed=7)
+    rows = []
+    for placement in ("dnuca", "parallel", "hash"):
+        st = replace(settings, placement=placement)
+        result = run_mix(TABLE_III_SETS[1], "equal-partitions", cfg, st)
+        mpi = result.total_misses / max(result.total_instructions, 1)
+        rows.append((placement, mpi, result.mean_cpi, result.migrations))
+    return rows
+
+
+def test_partition_placement_sweep(benchmark):
+    rows = once(benchmark, _run)
+    print()
+    print(
+        format_table(
+            ["Placement", "Misses/instr", "Mean CPI", "Migrations"],
+            rows,
+            title="Ablation — intra-partition placement (Set 2, Equal-partitions)",
+            float_format="{:.4f}",
+        )
+    )
+    by = {r[0]: r for r in rows}
+    # gravity placement trades migrations for lower average hit latency
+    assert by["dnuca"][3] > 0
+    assert by["parallel"][3] == 0
+    assert by["dnuca"][2] <= by["parallel"][2] * 1.05
+    # miss rates stay in the same ballpark across placements
+    assert max(r[1] for r in rows) < 1.4 * min(r[1] for r in rows)

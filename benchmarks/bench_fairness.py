@@ -1,0 +1,52 @@
+"""Extension — fairness / QoS comparison of the three schemes.
+
+The paper's introduction motivates partitioning with *unfair* destructive
+interference; this bench quantifies it on one heavy mix with the standard
+multiprogramming metrics (per-core slowdown vs. running alone, weighted
+speedup, fairness index).  Partitioned schemes should protect the victims:
+higher fairness index and lower worst-case slowdown than the shared cache.
+"""
+
+from benchmarks.common import bench_config, detailed_settings, once
+from repro.analysis import format_table
+from repro.analysis.fairness import fairness_report, standalone_cpi
+from repro.workloads import TABLE_III_SETS
+
+
+def _run():
+    cfg = bench_config(epoch_cycles=2_000_000)
+    st = detailed_settings(seed=9)
+    mix = TABLE_III_SETS[1]  # crafty+gap+mcf+art+equake x3+bzip2
+    alone = {name: standalone_cpi(name, cfg, st) for name in set(mix.names)}
+    reports = [
+        fairness_report(mix, scheme, cfg, st, alone_cpis=alone)
+        for scheme in ("no-partitions", "equal-partitions", "bank-aware")
+    ]
+    return mix, reports
+
+
+def test_fairness_metrics(benchmark):
+    mix, reports = once(benchmark, _run)
+    rows = [
+        (
+            r.scheme,
+            r.weighted_speedup,
+            r.fairness_index,
+            r.worst_slowdown,
+        )
+        for r in reports
+    ]
+    print()
+    print(
+        format_table(
+            ["Scheme", "Weighted speedup", "Fairness index", "Worst slowdown"],
+            rows,
+            title=f"Fairness metrics on Set 2 ({mix})",
+        )
+    )
+    by = {r.scheme: r for r in reports}
+    shared = by["no-partitions"]
+    for scheme in ("equal-partitions", "bank-aware"):
+        assert by[scheme].worst_slowdown <= shared.worst_slowdown * 1.05
+        assert by[scheme].fairness_index >= shared.fairness_index * 0.9
+    assert by["bank-aware"].weighted_speedup >= shared.weighted_speedup

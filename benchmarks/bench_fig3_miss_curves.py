@@ -1,0 +1,33 @@
+"""Fig. 3 — cumulative miss-ratio curves of sixtrack, bzip2 and applu.
+
+The paper's three exemplars of capacity behaviour: sixtrack saturates by
+~6 dedicated ways, applu by ~10 with a high streaming floor, and bzip2
+improves gradually out to ~45 ways.
+"""
+
+from benchmarks.common import bench_config
+from repro.analysis import FIG3_WORKLOADS, fig3_curves, format_table, miss_curve_rows
+
+WAYS = (0, 2, 4, 6, 8, 10, 16, 24, 32, 45, 64, 96, 128)
+
+
+def test_fig3_miss_ratio_curves(benchmark):
+    cfg = bench_config()
+    curves = benchmark(lambda: fig3_curves(config=cfg, accesses=80_000))
+    print()
+    print(
+        format_table(
+            ["workload"] + [str(w) for w in WAYS],
+            miss_curve_rows(curves, WAYS),
+            title="Fig. 3 — cumulative miss ratio vs. dedicated cache ways",
+            float_format="{:.2f}",
+        )
+    )
+    six, bz, ap = (curves[n] for n in FIG3_WORKLOADS)
+    # paper shapes: sixtrack knee ~6 ways, applu flat after ~10 with a
+    # floor, bzip2 gradual improvement to ~45 then flat
+    assert six.miss_ratio_at(8) < 0.15
+    assert ap.miss_ratio_at(16) - ap.miss_ratio_at(64) < 0.06
+    assert ap.miss_ratio_at(64) > 0.3
+    assert bz.miss_ratio_at(16) - bz.miss_ratio_at(45) > 0.2
+    assert bz.miss_ratio_at(45) - bz.miss_ratio_at(128) < 0.08

@@ -1,0 +1,42 @@
+"""Fig. 4 / Section III.B — bank-aggregation scheme comparison (ablation).
+
+The paper's qualitative argument for its depth-2 structure: Cascade matches
+the ideal LRU exactly but its migration rate is prohibitive; Address-Hash
+and Parallel migrate (almost) nothing at a small fidelity cost, with
+Parallel paying wider directory look-ups.
+"""
+
+import pytest
+
+from benchmarks.common import once
+from repro.analysis import fig4_aggregation, format_table
+
+
+def test_fig4_aggregation_schemes(benchmark):
+    outcomes = once(
+        benchmark,
+        lambda: fig4_aggregation(
+            "bzip2", num_banks=4, bank_ways=8, num_sets=128, accesses=60_000
+        ),
+    )
+    rows = [
+        (o.scheme, o.miss_rate, o.migrations_per_access, o.directory_probes_per_access)
+        for o in outcomes
+    ]
+    print()
+    print(
+        format_table(
+            ["Scheme", "Miss rate", "Migrations/access", "Dir probes/access"],
+            rows,
+            title="Fig. 4 — aggregating 4 banks into one 32-way partition",
+        )
+    )
+    by = {o.scheme: o for o in outcomes}
+    assert by["cascade"].miss_rate == pytest.approx(by["ideal"].miss_rate)
+    assert by["cascade"].migrations_per_access > 0.5  # prohibitive
+    assert by["hash"].migrations_per_access == 0.0
+    assert by["parallel"].migrations_per_access == 0.0
+    assert by["parallel"].directory_probes_per_access == 4.0
+    # fidelity loss of the realisable schemes stays modest
+    assert by["hash"].miss_rate < by["ideal"].miss_rate * 1.35
+    assert by["parallel"].miss_rate < by["ideal"].miss_rate * 1.35

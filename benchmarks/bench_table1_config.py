@@ -1,0 +1,18 @@
+"""Table I — baseline DNUCA-CMP parameters.
+
+Regenerates the paper's system-parameter table from the configuration
+module (and checks the headline values while at it).
+"""
+
+from repro.analysis import format_table, table1_rows
+from repro.config import baseline_config
+
+
+def test_table1_parameters(benchmark):
+    rows = benchmark(lambda: table1_rows(baseline_config()))
+    print()
+    print(format_table(["Parameter", "Value"], rows, title="Table I — Baseline DNUCA-CMP parameters"))
+    values = dict(rows)
+    assert "16 MB (16 x 1 MB banks)" in values["L2 Cache"]
+    assert values["Memory Latency"] == "260 cycles"
+    assert "64 KB" in values["L1 Data Cache"]

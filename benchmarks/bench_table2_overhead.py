@@ -1,0 +1,30 @@
+"""Table II — MSA profiler hardware overhead.
+
+The paper's exact storage arithmetic: 54 kbit of partial tags, 27 kbit of
+LRU-stack pointers and 2.25 kbit of hit counters per profiler; all eight
+profilers cost ~0.5 % of the L2's data capacity (the paper headlines 0.4 %).
+"""
+
+import pytest
+
+from repro.analysis import format_table, table2_rows
+from repro.config import baseline_config
+
+
+def test_table2_profiler_overhead(benchmark):
+    rows = benchmark(lambda: table2_rows(baseline_config()))
+    print()
+    print(
+        format_table(
+            ["Structure", "kbits / %"],
+            rows,
+            title="Table II — overhead of the proposed MSA profiler",
+            float_format="{:.2f}",
+        )
+    )
+    values = dict(rows)
+    assert values["Partial Tags"] == pytest.approx(54.0)
+    assert values["LRU Stack Distance Implem."] == pytest.approx(27.0)
+    assert values["Hit Counters"] == pytest.approx(2.25)
+    assert values["Total per profiler"] == pytest.approx(83.25)
+    assert values["All profilers / L2 capacity"] < 1.0  # percent

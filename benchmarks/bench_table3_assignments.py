@@ -1,0 +1,32 @@
+"""Table III — Bank-aware way assignments for the eight detailed mixes.
+
+Regenerates the paper's per-core cache-way assignments: streamers receive
+little, large reuse pools receive multiple Center banks, neighbours share
+Local banks where profitable.
+"""
+
+from benchmarks.common import bench_config, once
+from repro.analysis import format_table, table3_assignments
+
+
+def test_table3_way_assignments(benchmark):
+    cfg = bench_config()
+    out = once(benchmark, lambda: table3_assignments(cfg))
+    rows = []
+    for i, (mix, decision) in enumerate(out):
+        cells = ", ".join(
+            f"{name}({ways})" for name, ways in zip(mix.names, decision.ways)
+        )
+        rows.append((f"Set{i + 1}", cells, str(decision.pairs)))
+    print()
+    print(
+        format_table(
+            ["Set", "benchmark(#ways) core0..core7", "local-bank pairs"],
+            rows,
+            title="Table III — Bank-aware cache-way assignments",
+        )
+    )
+    for _mix, decision in out:
+        assert decision.total_ways == cfg.l2.total_ways
+        assert sum(decision.center_banks) == cfg.l2.num_banks - cfg.num_cores
+        assert max(decision.ways) <= cfg.max_ways_per_core

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Shared-memory coherence demo on the MESI substrate.
+
+The paper's multiprogrammed workloads never share data, but its simulated
+machine (GEMS Ruby) carries a full coherence protocol.  This example
+exercises our directory MESI substrate with a producer/consumer pattern and
+a lock-like hot line, reporting the protocol traffic each pattern costs.
+
+Run:  python examples/coherent_sharing.py
+"""
+
+from repro.analysis import format_table
+from repro.coherence import MESISystem
+
+
+def producer_consumer(sys_: MESISystem, rounds: int = 200) -> None:
+    """Core 0 writes a buffer of 8 lines; cores 1-3 read it; repeat."""
+    for r in range(rounds):
+        for line in range(8):
+            sys_.store(0, line, r * 8 + line)
+        for consumer in (1, 2, 3):
+            for line in range(8):
+                assert sys_.load(consumer, line) == r * 8 + line
+
+
+def lock_contention(sys_: MESISystem, rounds: int = 200) -> None:
+    """All four cores take turns writing one hot line (a lock word)."""
+    lock_line = 100
+    for r in range(rounds):
+        core = r % 4
+        sys_.store(core, lock_line, r)
+        assert sys_.load(core, lock_line) == r
+
+
+def private_data(sys_: MESISystem, rounds: int = 200) -> None:
+    """The paper's multiprogrammed case: disjoint lines, zero interference."""
+    for r in range(rounds):
+        for core in range(4):
+            sys_.store(core, 1000 + core, r)
+            assert sys_.load(core, 1000 + core) == r
+
+
+def run(pattern) -> tuple[str, int, int, int, float]:
+    sys_ = MESISystem(4)
+    pattern(sys_)
+    sys_.check_coherence()
+    st = sys_.stats
+    ops = st.loads + st.stores
+    return (
+        pattern.__name__,
+        st.message_count,
+        st.invalidations,
+        st.writebacks,
+        st.hits / ops if ops else 0.0,
+    )
+
+
+def main() -> None:
+    rows = [run(p) for p in (producer_consumer, lock_contention, private_data)]
+    print(
+        format_table(
+            ["pattern", "messages", "invalidations", "writebacks", "hit rate"],
+            rows,
+            title="MESI protocol traffic by sharing pattern",
+            float_format="{:.3f}",
+        )
+    )
+    print(
+        "\nprivate data (the paper's multiprogrammed case) generates no"
+        " invalidations once warm — coherence does not perturb the"
+        " partitioning results."
+    )
+
+
+if __name__ == "__main__":
+    main()

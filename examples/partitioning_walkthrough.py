@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Anatomy of a Bank-aware decision (paper Figs. 5 and 6).
+
+Builds a hand-crafted mix of miss curves whose optimal treatment exercises
+every branch of the algorithm — whole Center banks, the 9/16 cap, deferred
+Local-bank pairing — and prints the physical bank/way layout it produces,
+like the floorplan sketch of the paper's Fig. 5.
+
+Run:  python examples/partitioning_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.partitioning import bank_aware_partition, decision_to_partition_map
+from repro.profiling import MissCurve
+
+
+def knee(name: str, knee_ways: int, total: float, floor: float = 0.05) -> MissCurve:
+    ways = np.arange(129, dtype=np.float64)
+    frac = np.clip(ways / knee_ways, 0.0, 1.0)
+    return MissCurve(name, total * (1 - frac * (1 - floor)), total)
+
+
+def main() -> None:
+    curves = [
+        knee("monster", 100, 50_000),  # wants everything -> hits the cap
+        knee("medium", 20, 8_000),     # a couple of Center banks
+        knee("hungry12", 12, 5_000),   # > a Local bank: must pair
+        knee("tiny", 3, 5_000),        # the natural pairing donor
+        knee("modest", 8, 2_000),      # exactly one Local bank
+        knee("small", 4, 1_500),
+        knee("stream", 1, 9_000, floor=0.95),  # flat: a polluter
+        knee("reuse16", 16, 6_000),
+    ]
+    decision = bank_aware_partition(curves)
+    print("Bank-aware decision")
+    rows = [
+        (c.name, w, cb, str(decision.pair_of(i) or "-"))
+        for i, (c, w, cb) in enumerate(
+            zip(curves, decision.ways, decision.center_banks)
+        )
+    ]
+    print(
+        format_table(
+            ["workload", "ways", "center banks", "pair"],
+            rows,
+        )
+    )
+    assert max(decision.ways) <= 72, "9/16 cap enforced"
+
+    pmap = decision_to_partition_map(decision)
+    print("\nPhysical layout (Fig. 5 style)")
+    rows = []
+    for core in range(8):
+        part = pmap[core]
+        l1 = " + ".join(
+            f"bank{a.bank}[{a.num_ways}w]" for a in part.level1
+        )
+        l2 = (
+            f" -> victim: bank{part.level2.bank}[ways {part.level2.ways}]"
+            if part.level2
+            else ""
+        )
+        rows.append((f"core{core} ({curves[core].name})", l1 + l2))
+    print(format_table(["core", "level-1 banks (+ level-2 victim ways)"], rows))
+
+    total = sum(p.total_ways for p in pmap.partitions.values())
+    print(f"\ntotal ways assigned: {total}/128; "
+          f"pairs: {decision.pairs}; cap: 72 ways/core")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setuptools shim (the environment has no `wheel`, so PEP 660
+editable installs are unavailable; `pip install -e .` uses this instead)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Experiment drivers, Monte Carlo harness and reporting."""
+
+from repro.analysis.experiments import (
+    FIG3_WORKLOADS,
+    AggregationOutcome,
+    DetailedResults,
+    detailed_sets,
+    fig2_histogram,
+    fig3_curves,
+    fig4_aggregation,
+    profiler_accuracy,
+    table1_rows,
+    table2_rows,
+    table3_assignments,
+)
+from repro.analysis.fairness import FairnessReport, fairness_report, standalone_cpi
+from repro.analysis.montecarlo import (
+    MonteCarloPoint,
+    MonteCarloResult,
+    collect_profiles,
+    run_monte_carlo,
+)
+from repro.analysis.report import format_series, format_table, miss_curve_rows, write_csv
+
+__all__ = [
+    "FIG3_WORKLOADS",
+    "AggregationOutcome",
+    "DetailedResults",
+    "FairnessReport",
+    "MonteCarloPoint",
+    "MonteCarloResult",
+    "collect_profiles",
+    "detailed_sets",
+    "fairness_report",
+    "fig2_histogram",
+    "fig3_curves",
+    "fig4_aggregation",
+    "format_series",
+    "format_table",
+    "miss_curve_rows",
+    "profiler_accuracy",
+    "run_monte_carlo",
+    "standalone_cpi",
+    "table1_rows",
+    "table2_rows",
+    "table3_assignments",
+    "write_csv",
+]

@@ -1,0 +1,86 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every benchmark regenerates its paper table/figure as text through these
+helpers, so the rows the paper reports appear directly in the benchmark
+output (run pytest with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        out_row = []
+        for cell in row:
+            if isinstance(cell, float):
+                out_row.append(float_format.format(cell))
+            else:
+                out_row.append(str(cell))
+        rendered.append(out_row)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width disagrees with headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, values: Sequence[float], *, samples: int = 10
+) -> str:
+    """Summarise a long sorted series (Fig. 7 style) as evenly spaced
+    sample points plus its mean."""
+    if not values:
+        return f"{name}: (empty)"
+    n = len(values)
+    idx = [min(n - 1, round(i * (n - 1) / (samples - 1))) for i in range(samples)]
+    pts = " ".join(f"{values[i]:.2f}" for i in idx)
+    mean = sum(values) / n
+    return f"{name}: n={n} mean={mean:.3f} samples=[{pts}]"
+
+
+def miss_curve_rows(
+    curves: dict, ways: Sequence[int]
+) -> list[list[object]]:
+    """Rows of cumulative miss ratios at the given allocations (Fig. 3)."""
+    rows: list[list[object]] = []
+    for name, curve in curves.items():
+        rows.append([name] + [curve.miss_ratio_at(w) for w in ways])
+    return rows
+
+
+def write_csv(
+    path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    """Persist a result table as CSV so figures can be re-plotted outside
+    this repo (every benchmark table is representable this way)."""
+    import csv
+
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError("row width disagrees with headers")
+            writer.writerow(list(row))

@@ -1,0 +1,63 @@
+"""Cache substrate: replacement, way-partitioned sets, banks, the NUCA L2."""
+
+from repro.cache.aggregation import (
+    SCHEMES,
+    AddressHashAggregation,
+    AggregatedCache,
+    AggregationStats,
+    CascadeAggregation,
+    IdealLRUAggregation,
+    ParallelAggregation,
+    make_aggregation,
+)
+from repro.cache.bank import BankStats, CacheBank
+from repro.cache.cacheset import CacheSet, Eviction
+from repro.cache.hierarchy import CacheHierarchy, HierarchyResult
+from repro.cache.l1 import L1Cache, L1Stats
+from repro.cache.nuca import AccessResult, NucaL2, NucaStats
+from repro.cache.partition_map import (
+    BankAllocation,
+    CorePartition,
+    PartitionMap,
+    equal_partition_map,
+)
+from repro.cache.replacement import (
+    POLICIES,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "POLICIES",
+    "SCHEMES",
+    "AccessResult",
+    "AddressHashAggregation",
+    "AggregatedCache",
+    "AggregationStats",
+    "BankAllocation",
+    "BankStats",
+    "CacheBank",
+    "CacheHierarchy",
+    "CacheSet",
+    "CascadeAggregation",
+    "CorePartition",
+    "Eviction",
+    "HierarchyResult",
+    "IdealLRUAggregation",
+    "L1Cache",
+    "L1Stats",
+    "LRUPolicy",
+    "NucaL2",
+    "NucaStats",
+    "ParallelAggregation",
+    "PartitionMap",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "TreePLRUPolicy",
+    "equal_partition_map",
+    "make_aggregation",
+    "make_policy",
+]

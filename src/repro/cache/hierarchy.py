@@ -1,0 +1,59 @@
+"""A full cache hierarchy (per-core L1s over the shared NUCA L2).
+
+The timing experiments drive the L2 reference stream directly; this module
+composes the untimed functional hierarchy for the quickstart/hierarchy
+examples and for tests that need L1 filtering or writeback traffic to be
+modelled explicitly.  The hierarchy is non-inclusive/non-exclusive (mostly
+inclusive in practice), like the multi-level industrial designs the paper
+contrasts with free-form NUCA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.l1 import L1Cache
+from repro.cache.nuca import AccessResult, NucaL2
+from repro.config import SystemConfig
+from repro.util.bits import line_address
+
+
+@dataclass
+class HierarchyResult:
+    """Where an access was served: ``"l1"``, ``"l2"`` or ``"memory"``."""
+
+    level: str
+    l2_result: AccessResult | None = None
+
+
+class CacheHierarchy:
+    """Per-core L1 caches in front of the shared banked L2."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = (config or SystemConfig()).validate()
+        self.l1s = [L1Cache(self.config.l1) for _ in range(self.config.num_cores)]
+        self.l2 = NucaL2(self.config.l2, self.config.num_cores)
+
+    def access(
+        self, core: int, address: int, *, is_write: bool = False
+    ) -> HierarchyResult:
+        """A CPU load/store: filters through the core's L1, then the L2."""
+        if not 0 <= core < self.config.num_cores:
+            raise IndexError(f"core {core} out of range")
+        line = line_address(address)
+        l1_hit, l1_evict = self.l1s[core].access(line, is_write=is_write)
+        if l1_evict is not None and l1_evict.dirty:
+            self._writeback(core, l1_evict.tag)
+        if l1_hit:
+            return HierarchyResult("l1")
+        result = self.l2.access(core, line, is_write=is_write)
+        return HierarchyResult("l2" if result.hit else "memory", result)
+
+    def _writeback(self, core: int, line: int) -> None:
+        """Write a dirty L1 victim down into the L2 (write-allocate)."""
+        bank_id = self.l2.bank_of(line)
+        if bank_id is not None:
+            bank = self.l2.banks[bank_id]
+            bank.sets[bank.set_index(line)].set_dirty(line)
+        else:
+            self.l2.access(core, line, is_write=True)

@@ -1,0 +1,72 @@
+"""Per-core L1 cache (paper Table I: 64 KB, 2-way, 3 cycles, 64 B lines).
+
+The main experiments drive the L2 reference stream directly (the paper's
+profilers also monitor L2 accesses), so the L1 appears there only through
+each workload's non-memory CPI.  This module provides a real L1 model for
+the full-hierarchy example and for coherence experiments, where L1 contents
+matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cacheset import CacheSet, Eviction
+from repro.config import L1Config
+from repro.util.bits import ilog2
+
+
+@dataclass
+class L1Stats:
+    accesses: int = 0
+    hits: int = 0
+    writebacks: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class L1Cache:
+    """A write-back, write-allocate set-associative L1."""
+
+    def __init__(self, config: L1Config | None = None, *, policy: str = "lru") -> None:
+        self.config = config or L1Config()
+        self.config.validate()
+        self.num_sets = self.config.num_sets
+        self.ways = self.config.ways
+        self._set_bits = ilog2(self.num_sets)
+        self._set_mask = self.num_sets - 1
+        self.sets = [CacheSet(self.ways, policy) for _ in range(self.num_sets)]
+        self._all_ways = tuple(range(self.ways))
+        self.stats = L1Stats()
+
+    def set_index(self, line: int) -> int:
+        return line & self._set_mask
+
+    def access(self, line: int, *, is_write: bool = False) -> tuple[bool, Eviction | None]:
+        """Reference a line; allocate on miss.  Returns ``(hit, eviction)``
+        where the eviction (if dirty) must be written back to the L2."""
+        self.stats.accesses += 1
+        cset = self.sets[self.set_index(line)]
+        if cset.lookup(line, is_write=is_write) is not None:
+            self.stats.hits += 1
+            return True, None
+        ev = cset.insert(line, 0, self._all_ways, dirty=is_write)
+        if ev is not None and ev.dirty:
+            self.stats.writebacks += 1
+        return False, ev
+
+    def contains(self, line: int) -> bool:
+        return self.sets[self.set_index(line)].probe(line) is not None
+
+    def invalidate(self, line: int) -> Eviction | None:
+        """Coherence-invalidate a line (returns dirty state for writeback)."""
+        return self.sets[self.set_index(line)].invalidate(line)
+
+    def occupancy(self) -> int:
+        return sum(s.occupancy() for s in self.sets)

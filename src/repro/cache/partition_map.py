@@ -1,0 +1,169 @@
+"""Concrete cache-partition descriptions.
+
+The partitioning algorithms (``repro.partitioning``) decide *how many ways*
+each core gets; this module describes *where those ways physically live*:
+which banks, which way indices inside each bank, and how multi-bank
+partitions are aggregated (paper Section III.B, Fig. 4/5):
+
+* ``level1`` — the fully-owned banks of the partition, aggregated by the
+  Parallel or Address-Hash scheme;
+* ``level2`` — the optional partial allocation inside a (possibly shared)
+  Local bank, cascaded below level 1 ("we limit the level of cascading to
+  two", Fig. 4c).
+
+A :class:`PartitionMap` collects one :class:`CorePartition` per core and can
+validate global consistency (no way owned twice, capacity adds up) and
+install itself onto a list of :class:`~repro.cache.bank.CacheBank`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.bank import CacheBank
+
+
+@dataclass(frozen=True)
+class BankAllocation:
+    """A set of way indices owned inside one physical bank."""
+
+    bank: int
+    ways: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ways:
+            raise ValueError("a bank allocation needs at least one way")
+        if len(set(self.ways)) != len(self.ways):
+            raise ValueError("duplicate way indices in allocation")
+        if any(w < 0 for w in self.ways):
+            raise ValueError("way indices must be non-negative")
+        object.__setattr__(self, "ways", tuple(sorted(self.ways)))
+
+    @property
+    def num_ways(self) -> int:
+        return len(self.ways)
+
+
+@dataclass(frozen=True)
+class CorePartition:
+    """The physical L2 partition of one core."""
+
+    core: int
+    level1: tuple[BankAllocation, ...]
+    level2: BankAllocation | None = None
+
+    def __post_init__(self) -> None:
+        if not self.level1:
+            raise ValueError("a partition needs at least one level-1 bank")
+        banks = [a.bank for a in self.level1]
+        if self.level2 is not None:
+            banks.append(self.level2.bank)
+        if len(set(banks)) != len(banks):
+            raise ValueError("a bank may appear only once in a partition")
+
+    @property
+    def total_ways(self) -> int:
+        n = sum(a.num_ways for a in self.level1)
+        if self.level2 is not None:
+            n += self.level2.num_ways
+        return n
+
+    @property
+    def banks(self) -> tuple[int, ...]:
+        out = tuple(a.bank for a in self.level1)
+        if self.level2 is not None:
+            out += (self.level2.bank,)
+        return out
+
+    def allocations(self) -> tuple[BankAllocation, ...]:
+        out = tuple(self.level1)
+        if self.level2 is not None:
+            out += (self.level2,)
+        return out
+
+
+@dataclass
+class PartitionMap:
+    """One :class:`CorePartition` per core, plus global validation."""
+
+    partitions: dict[int, CorePartition] = field(default_factory=dict)
+
+    def add(self, partition: CorePartition) -> None:
+        if partition.core in self.partitions:
+            raise ValueError(f"core {partition.core} already has a partition")
+        self.partitions[partition.core] = partition
+
+    def __getitem__(self, core: int) -> CorePartition:
+        return self.partitions[core]
+
+    def __contains__(self, core: int) -> bool:
+        return core in self.partitions
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def way_vector(self) -> dict[int, int]:
+        """Total ways per core (the abstract allocation the algorithms chose)."""
+        return {c: p.total_ways for c, p in self.partitions.items()}
+
+    def validate(self, num_banks: int, bank_ways: int) -> "PartitionMap":
+        """Check physical consistency: way indices in range and no way of any
+        bank claimed by two cores."""
+        claimed: dict[tuple[int, int], int] = {}
+        for core, part in self.partitions.items():
+            for alloc in part.allocations():
+                if not 0 <= alloc.bank < num_banks:
+                    raise ValueError(f"bank {alloc.bank} out of range")
+                for w in alloc.ways:
+                    if w >= bank_ways:
+                        raise ValueError(
+                            f"way {w} out of range for {bank_ways}-way bank"
+                        )
+                    key = (alloc.bank, w)
+                    if key in claimed:
+                        raise ValueError(
+                            f"bank {alloc.bank} way {w} claimed by cores "
+                            f"{claimed[key]} and {core}"
+                        )
+                    claimed[key] = core
+        return self
+
+    def install(self, banks: list[CacheBank]) -> None:
+        """Program the banks' vertical way-ownership from this map.
+
+        Ways not claimed by any core are left owned by the empty set (no
+        core may allocate there) — the partitioning algorithms always assign
+        full capacity, so in practice every way is claimed.
+        """
+        self.validate(len(banks), banks[0].ways if banks else 0)
+        owners: list[list[frozenset[int]]] = [
+            [frozenset()] * bank.ways for bank in banks
+        ]
+        for core, part in self.partitions.items():
+            for alloc in part.allocations():
+                for w in alloc.ways:
+                    owners[alloc.bank][w] = frozenset((core,))
+        for bank, owner_row in zip(banks, owners):
+            bank.set_way_owners(list(owner_row))
+
+
+def equal_partition_map(
+    num_cores: int, num_banks: int, bank_ways: int
+) -> PartitionMap:
+    """The paper's *Equal-partitions* scheme: private, equally sized
+    partitions — each core gets its Local bank plus an equal share of the
+    Center banks as whole banks (8 cores x 2 banks = 16 ways each on the
+    baseline machine)."""
+    if num_banks % num_cores:
+        raise ValueError("banks must divide evenly among cores")
+    per_core = num_banks // num_cores
+    pmap = PartitionMap()
+    all_ways = tuple(range(bank_ways))
+    for core in range(num_cores):
+        local = BankAllocation(core, all_ways)
+        centers = tuple(
+            BankAllocation(num_cores + core * (per_core - 1) + k, all_ways)
+            for k in range(per_core - 1)
+        )
+        pmap.add(CorePartition(core, (local,) + centers))
+    return pmap

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's pipeline without writing Python:
+
+* ``profile``    — MSA-profile one workload, print its miss-ratio curve.
+* ``partition``  — run the Bank-aware (or Unrestricted) assignment on a mix.
+* ``simulate``   — detailed simulation of a mix under one scheme.
+* ``compare``    — all three schemes on one mix, relative metrics.
+* ``suite``      — list the 26 SPEC-like workload models.
+* ``machine``    — print the (scaled) Table I machine description.
+
+Examples::
+
+    python -m repro profile bzip2 --ways 8,16,32,45
+    python -m repro partition crafty gap mcf art equake equake bzip2 equake
+    python -m repro compare --set 2 --duration 4000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis import (
+    collect_profiles,
+    format_table,
+    table1_rows,
+)
+from repro.config import SystemConfig, scaled_config
+from repro.partitioning import (
+    bank_aware_partition,
+    predicted_misses,
+    unrestricted_partition,
+)
+from repro.profiling import load_curves, save_curves
+from repro.sim import RunSettings, compare_schemes, run_mix
+from repro.workloads import ALL_NAMES, TABLE_III_SETS, Mix, get, suite
+
+
+def _machine(args: argparse.Namespace) -> SystemConfig:
+    return scaled_config(args.scale, epoch_cycles=args.epoch)
+
+
+def _add_machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scale", type=int, default=8,
+        help="linear machine scale-down factor (1 = the full paper machine)",
+    )
+    p.add_argument(
+        "--epoch", type=int, default=2_000_000,
+        help="repartitioning epoch in cycles",
+    )
+
+
+def _resolve_mix(args: argparse.Namespace) -> Mix:
+    if getattr(args, "set", None) is not None:
+        if not 1 <= args.set <= len(TABLE_III_SETS):
+            raise SystemExit(f"--set must be 1..{len(TABLE_III_SETS)}")
+        return TABLE_III_SETS[args.set - 1]
+    names = list(args.workloads)
+    if not names:
+        raise SystemExit("give 8 workload names or --set N")
+    unknown = [n for n in names if n not in ALL_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown workloads {unknown}; see 'repro suite'")
+    return Mix(tuple(names))
+
+
+def cmd_suite(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in suite().items():
+        pools = " + ".join(
+            f"{p.ways}w@{p.weight:g}" + (f"/z{p.zipf:g}" if p.zipf else "")
+            for p in spec.pools
+        )
+        rows.append(
+            (name, pools, f"{spec.stream_weight:g}", f"{spec.l2_apki:g}",
+             f"{spec.mlp:g}")
+        )
+    print(
+        format_table(
+            ["workload", "reuse pools", "stream", "L2 APKI", "MLP"],
+            rows,
+            title="The 26 SPEC CPU2000-like workload models",
+        )
+    )
+    return 0
+
+
+def cmd_machine(args: argparse.Namespace) -> int:
+    cfg = _machine(args)
+    print(format_table(["Parameter", "Value"], table1_rows(cfg),
+                       title=f"Machine (scale 1/{args.scale})"))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    cfg = _machine(args)
+    for name in args.workloads:
+        get(name)  # validate early
+    curves = collect_profiles(tuple(args.workloads), cfg,
+                              accesses=args.accesses, seed=args.seed)
+    if args.save:
+        save_curves(args.save, curves)
+        print(f"saved {len(curves)} curves to {args.save}")
+    ways = [int(w) for w in args.ways.split(",")]
+    rows = [
+        [name] + [f"{curve.miss_ratio_at(w):.3f}" for w in ways]
+        for name, curve in curves.items()
+    ]
+    print(format_table(["workload"] + [str(w) for w in ways], rows,
+                       title="Projected miss ratio by dedicated ways (MSA)"))
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    cfg = _machine(args)
+    mix = _resolve_mix(args)
+    if len(mix) != cfg.num_cores:
+        raise SystemExit(f"need {cfg.num_cores} workloads, got {len(mix)}")
+    if args.curves:
+        curves_by_name = load_curves(args.curves)
+        missing = set(mix.names) - set(curves_by_name)
+        if missing:
+            raise SystemExit(f"curve file lacks {sorted(missing)}")
+    else:
+        curves_by_name = collect_profiles(tuple(set(mix.names)), cfg,
+                                          accesses=args.accesses, seed=args.seed)
+    curves = [curves_by_name[n] for n in mix.names]
+    decision = bank_aware_partition(
+        curves,
+        num_banks=cfg.l2.num_banks,
+        bank_ways=cfg.l2.bank_ways,
+        max_ways_per_core=cfg.max_ways_per_core,
+    )
+    rows = [
+        (f"core{i}", name, decision.ways[i], decision.center_banks[i],
+         str(decision.pair_of(i) or "-"))
+        for i, name in enumerate(mix.names)
+    ]
+    print(format_table(
+        ["core", "workload", "ways", "center banks", "pair"], rows,
+        title="Bank-aware assignment",
+    ))
+    if args.unrestricted:
+        ur = unrestricted_partition(curves, cfg.l2.total_ways)
+        print(f"\nUnrestricted (UCP) assignment: {ur}")
+        print(
+            "predicted misses: bank-aware "
+            f"{predicted_misses(curves, list(decision.ways)):,.0f} vs "
+            f"unrestricted {predicted_misses(curves, ur):,.0f}"
+        )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    cfg = _machine(args)
+    mix = _resolve_mix(args)
+    settings = RunSettings(duration_cycles=args.duration, seed=args.seed)
+    result = run_mix(mix, args.scheme, cfg, settings)
+    rows = [
+        (c.core, c.workload, c.l2_accesses, f"{c.miss_rate:.3f}",
+         f"{c.mpki:.2f}", f"{c.cpi:.3f}")
+        for c in result.cores
+    ]
+    print(format_table(
+        ["core", "workload", "L2 refs", "miss rate", "MPKI", "CPI"], rows,
+        title=f"{args.scheme} on {mix}",
+    ))
+    print(f"\noverall miss rate {result.miss_rate:.3f}; "
+          f"migrations {result.migrations:,}; epochs {len(result.epochs)}")
+    if result.epochs:
+        print(f"last allocation: {result.epochs[-1].ways}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    cfg = _machine(args)
+    mix = _resolve_mix(args)
+    settings = RunSettings(duration_cycles=args.duration, seed=args.seed)
+    comp = compare_schemes(mix, cfg, settings)
+    rows = []
+    for scheme in comp.results:
+        rows.append(
+            (scheme, f"{comp.relative_miss_rate(scheme):.3f}",
+             f"{comp.relative_cpi(scheme):.3f}",
+             comp.results[scheme].migrations)
+        )
+    print(format_table(
+        ["scheme", "rel. misses/instr", "rel. CPI", "migrations"], rows,
+        title=f"Scheme comparison on {mix}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bank-aware dynamic cache partitioning (ICPP 2009) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("suite", help="list the workload models")
+    p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("machine", help="print the machine description")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_machine)
+
+    p = sub.add_parser("profile", help="MSA-profile workloads")
+    p.add_argument("workloads", nargs="+", choices=sorted(ALL_NAMES))
+    p.add_argument("--ways", default="2,4,8,16,32,45,64")
+    p.add_argument("--accesses", type=int, default=80_000)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--save", help="save the curves to an .npz for reuse")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("partition", help="run the Bank-aware assignment")
+    p.add_argument("workloads", nargs="*", default=[],
+                   metavar="WORKLOAD", help="8 workload names (see 'suite')")
+    p.add_argument("--set", type=int, help="use paper Table III set N (1-8)")
+    p.add_argument("--accesses", type=int, default=80_000)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--curves", help="load cached curves (.npz from 'profile --save')")
+    p.add_argument("--unrestricted", action="store_true",
+                   help="also show the Unrestricted (UCP) assignment")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_partition)
+
+    for name, fn in (("simulate", cmd_simulate), ("compare", cmd_compare)):
+        p = sub.add_parser(name, help=f"{name} a mix on the DES simulator")
+        p.add_argument("workloads", nargs="*", default=[],
+                       metavar="WORKLOAD", help="8 workload names (see 'suite')")
+        p.add_argument("--set", type=int, help="use paper Table III set N (1-8)")
+        if name == "simulate":
+            p.add_argument(
+                "--scheme",
+                default="bank-aware",
+                choices=("no-partitions", "equal-partitions", "bank-aware"),
+            )
+        p.add_argument("--duration", type=float, default=4_000_000)
+        p.add_argument("--seed", type=int, default=7)
+        _add_machine_args(p)
+        p.set_defaults(fn=fn)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

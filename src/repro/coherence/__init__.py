@@ -1,0 +1,17 @@
+"""Directory-based MESI coherence substrate."""
+
+from repro.coherence.directory import Directory, DirectoryEntry, DirState
+from repro.coherence.mesi import CacheState, MESISystem, ProtocolStats
+from repro.coherence.messages import DIRECTORY, Message, MessageType
+
+__all__ = [
+    "DIRECTORY",
+    "CacheState",
+    "DirState",
+    "Directory",
+    "DirectoryEntry",
+    "MESISystem",
+    "Message",
+    "MessageType",
+    "ProtocolStats",
+]

@@ -1,0 +1,77 @@
+"""Directory state for a MESI protocol (one entry per tracked line).
+
+The directory is the serialisation point: it knows, per line, which cores
+hold copies and which (if any) is the exclusive owner.  States follow the
+standard directory MESI formulation:
+
+* ``I`` — no cached copies;
+* ``S`` — one or more read-only sharers;
+* ``M`` — exactly one core owns the line (Exclusive and Modified are merged
+  at the directory: the owner may silently upgrade E->M, so the directory
+  must treat both as "owned").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class DirState(str, Enum):
+    I = "I"  # noqa: E741 - canonical MESI state name
+    S = "S"
+    M = "M"
+
+
+@dataclass
+class DirectoryEntry:
+    state: DirState = DirState.I
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None
+
+    def check_invariants(self) -> None:
+        """The protocol's safety net, asserted liberally in tests."""
+        if self.state is DirState.I:
+            if self.sharers or self.owner is not None:
+                raise AssertionError("I-state entry with copies")
+        elif self.state is DirState.S:
+            if not self.sharers:
+                raise AssertionError("S-state entry with no sharers")
+            if self.owner is not None:
+                raise AssertionError("S-state entry with an owner")
+        else:  # M
+            if self.owner is None:
+                raise AssertionError("M-state entry with no owner")
+            if self.sharers:
+                raise AssertionError("M-state entry with sharers")
+
+
+class Directory:
+    """Sparse full-map directory over cache lines."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+        self._entries: dict[int, DirectoryEntry] = {}
+
+    def entry(self, line: int) -> DirectoryEntry:
+        ent = self._entries.get(line)
+        if ent is None:
+            ent = DirectoryEntry()
+            self._entries[line] = ent
+        return ent
+
+    def peek(self, line: int) -> DirectoryEntry:
+        """Entry without creating one (absent lines read as I)."""
+        return self._entries.get(line, DirectoryEntry())
+
+    def drop(self, line: int) -> None:
+        self._entries.pop(line, None)
+
+    def tracked_lines(self) -> list[int]:
+        return [l for l, e in self._entries.items() if e.state is not DirState.I]
+
+    def check_all_invariants(self) -> None:
+        for entry in self._entries.values():
+            entry.check_invariants()

@@ -1,0 +1,215 @@
+"""A directory-based MESI protocol over per-core private caches.
+
+Atomic-transaction formulation: each core request (load/store/evict) runs to
+completion at the directory before the next begins, which keeps the model
+simple while preserving every steady-state property the tests care about
+(single-writer/multiple-reader, data value propagation, invariant directory
+state).  Message objects are recorded for traffic accounting so examples can
+show coherence cost.
+
+Core cache states are the classic MESI four; the directory merges E and M
+(see :mod:`repro.coherence.directory`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.coherence.directory import Directory, DirState
+from repro.coherence.messages import DIRECTORY, Message, MessageType
+
+
+class CacheState(str, Enum):
+    M = "M"
+    E = "E"
+    S = "S"
+    I = "I"  # noqa: E741 - canonical MESI state name
+
+
+@dataclass
+class ProtocolStats:
+    loads: int = 0
+    stores: int = 0
+    hits: int = 0
+    invalidations: int = 0
+    writebacks: int = 0
+    messages: list[Message] = field(default_factory=list)
+
+    def send(self, mtype: MessageType, line: int, source: int, dest: int) -> None:
+        self.messages.append(Message(mtype, line, source, dest))
+
+    @property
+    def message_count(self) -> int:
+        return len(self.messages)
+
+
+class MESISystem:
+    """N private caches + a directory + a backing value store.
+
+    Values are modelled as integers so tests can check that every load
+    observes the most recent store (coherence's actual contract).
+    """
+
+    def __init__(self, num_cores: int) -> None:
+        self.directory = Directory(num_cores)
+        self.num_cores = num_cores
+        #: per-core cached state/value: line -> (state, value)
+        self.caches: list[dict[int, tuple[CacheState, int]]] = [
+            {} for _ in range(num_cores)
+        ]
+        self.memory: dict[int, int] = {}
+        self.stats = ProtocolStats()
+
+    # -- helpers --------------------------------------------------------------
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise IndexError(f"core {core} out of range")
+
+    def state_of(self, core: int, line: int) -> CacheState:
+        self._check_core(core)
+        return self.caches[core].get(line, (CacheState.I, 0))[0]
+
+    def _invalidate_sharers(self, line: int, except_core: int) -> None:
+        entry = self.directory.entry(line)
+        for sharer in sorted(entry.sharers):
+            if sharer == except_core:
+                continue
+            self.stats.send(MessageType.INV, line, DIRECTORY, sharer)
+            self.caches[sharer].pop(line, None)
+            self.stats.send(MessageType.ACK, line, sharer, except_core)
+            self.stats.invalidations += 1
+        entry.sharers.clear()
+
+    def _recall_owner(self, line: int, demote_to: CacheState, requestor: int) -> int:
+        """Fetch the line's value from its M/E owner, demoting or
+        invalidating the owner's copy.  Returns the current value."""
+        entry = self.directory.entry(line)
+        owner = entry.owner
+        assert owner is not None
+        fwd = (
+            MessageType.FWD_GET_S
+            if demote_to is CacheState.S
+            else MessageType.FWD_GET_M
+        )
+        self.stats.send(fwd, line, DIRECTORY, owner)
+        state, value = self.caches[owner][line]
+        if state is CacheState.M:
+            self.memory[line] = value  # owner writes back on demotion
+            self.stats.writebacks += 1
+        if demote_to is CacheState.S:
+            self.caches[owner][line] = (CacheState.S, value)
+        else:
+            del self.caches[owner][line]
+            self.stats.invalidations += 1
+        self.stats.send(MessageType.DATA, line, owner, requestor)
+        entry.owner = None
+        return value
+
+    # -- the three core-visible operations -------------------------------------
+
+    def load(self, core: int, line: int) -> int:
+        """Core reads a word of ``line``; returns the coherent value."""
+        self._check_core(core)
+        self.stats.loads += 1
+        state, value = self.caches[core].get(line, (CacheState.I, 0))
+        if state is not CacheState.I:
+            self.stats.hits += 1
+            return value
+
+        self.stats.send(MessageType.GET_S, line, core, DIRECTORY)
+        entry = self.directory.entry(line)
+        if entry.state is DirState.I:
+            value = self.memory.get(line, 0)
+            self.caches[core][line] = (CacheState.E, value)
+            entry.state = DirState.M  # E merged into "owned" at the directory
+            entry.owner = core
+        elif entry.state is DirState.S:
+            value = self.memory.get(line, 0)
+            self.stats.send(MessageType.DATA, line, DIRECTORY, core)
+            self.caches[core][line] = (CacheState.S, value)
+            entry.sharers.add(core)
+        else:  # M: recall from owner, both become sharers
+            old_owner = entry.owner
+            assert old_owner is not None
+            value = self._recall_owner(line, CacheState.S, core)
+            self.caches[core][line] = (CacheState.S, value)
+            entry.state = DirState.S
+            entry.sharers.update((core, old_owner))
+        entry.check_invariants()
+        return value
+
+    def store(self, core: int, line: int, value: int) -> None:
+        """Core writes ``value`` to ``line`` (needs exclusive ownership)."""
+        self._check_core(core)
+        self.stats.stores += 1
+        state, _ = self.caches[core].get(line, (CacheState.I, 0))
+        if state in (CacheState.M, CacheState.E):
+            self.stats.hits += 1
+            self.caches[core][line] = (CacheState.M, value)
+            return
+
+        self.stats.send(MessageType.GET_M, line, core, DIRECTORY)
+        entry = self.directory.entry(line)
+        if entry.state is DirState.S:
+            # upgrade: invalidate the other sharers (and our own S copy)
+            self._invalidate_sharers(line, except_core=core)
+            self.caches[core].pop(line, None)
+        elif entry.state is DirState.M:
+            self._recall_owner(line, CacheState.I, core)
+        self.caches[core][line] = (CacheState.M, value)
+        entry.state = DirState.M
+        entry.owner = core
+        entry.sharers.clear()
+        entry.check_invariants()
+
+    def evict(self, core: int, line: int) -> None:
+        """Core drops its copy (capacity eviction), writing back if dirty."""
+        self._check_core(core)
+        state, value = self.caches[core].pop(line, (CacheState.I, 0))
+        if state is CacheState.I:
+            return
+        entry = self.directory.entry(line)
+        if state is CacheState.M:
+            self.stats.send(MessageType.PUT_M, line, core, DIRECTORY)
+            self.memory[line] = value
+            self.stats.writebacks += 1
+            entry.state = DirState.I
+            entry.owner = None
+        elif state is CacheState.E:
+            self.stats.send(MessageType.PUT_M, line, core, DIRECTORY)
+            entry.state = DirState.I
+            entry.owner = None
+        else:  # S
+            self.stats.send(MessageType.PUT_S, line, core, DIRECTORY)
+            entry.sharers.discard(core)
+            if not entry.sharers:
+                entry.state = DirState.I
+        entry.check_invariants()
+
+    # -- verification hooks -----------------------------------------------------
+
+    def check_coherence(self) -> None:
+        """Global safety check: single writer, directory/cache agreement."""
+        self.directory.check_all_invariants()
+        lines = {l for cache in self.caches for l in cache}
+        for line in lines:
+            states = [
+                (core, self.caches[core][line][0])
+                for core in range(self.num_cores)
+                if line in self.caches[core]
+            ]
+            exclusive = [c for c, s in states if s in (CacheState.M, CacheState.E)]
+            shared = [c for c, s in states if s is CacheState.S]
+            if exclusive and (len(exclusive) > 1 or shared):
+                raise AssertionError(
+                    f"line {line}: exclusive copy coexists with others: {states}"
+                )
+            entry = self.directory.peek(line)
+            if exclusive:
+                if entry.state is not DirState.M or entry.owner != exclusive[0]:
+                    raise AssertionError(f"line {line}: directory disagrees")
+            elif shared:
+                if entry.state is not DirState.S or not set(shared) <= entry.sharers:
+                    raise AssertionError(f"line {line}: sharer set disagrees")

@@ -1,0 +1,45 @@
+"""Coherence protocol message vocabulary.
+
+The paper's memory timing model (GEMS Ruby) uses a detailed message-based
+MOESI protocol; the multiprogrammed SPEC mixes it simulates share no data,
+so protocol traffic does not influence the reproduced numbers.  This module
+and its siblings provide the substrate anyway — a directory-based MESI
+protocol — for the shared-memory example and for correctness tests of the
+L1/L2 interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class MessageType(Enum):
+    """Requests from cores and responses/forwards from the directory."""
+
+    GET_S = auto()  #: read request (shared access)
+    GET_M = auto()  #: write request (exclusive access)
+    PUT_M = auto()  #: dirty writeback from an owner
+    PUT_S = auto()  #: clean eviction notice from a sharer
+    INV = auto()  #: directory -> sharer invalidation
+    FWD_GET_S = auto()  #: directory -> owner: forward data, demote to S
+    FWD_GET_M = auto()  #: directory -> owner: forward data, invalidate
+    DATA = auto()  #: data response
+    ACK = auto()  #: invalidation acknowledgement
+
+
+@dataclass(frozen=True)
+class Message:
+    """One hop of protocol traffic (used for accounting and tests)."""
+
+    mtype: MessageType
+    line: int
+    source: int  #: core id, or -1 for the directory
+    dest: int  #: core id, or -1 for the directory
+
+    def __post_init__(self) -> None:
+        if self.source == self.dest:
+            raise ValueError("a message cannot be sent to its source")
+
+
+DIRECTORY = -1  #: pseudo-node id for the directory/L2 home.

@@ -1,0 +1,5 @@
+"""Analytic core timing models."""
+
+from repro.cpu.core import CoreSnapshot, CoreTimer
+
+__all__ = ["CoreSnapshot", "CoreTimer"]

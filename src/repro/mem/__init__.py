@@ -1,0 +1,5 @@
+"""Memory-access records and trace containers."""
+
+from repro.mem.trace import MemoryAccess, Trace, interleave_round_robin
+
+__all__ = ["MemoryAccess", "Trace", "interleave_round_robin"]

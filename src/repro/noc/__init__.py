@@ -1,0 +1,7 @@
+"""On-chip network: floorplan, DNUCA latency, bank contention."""
+
+from repro.noc.contention import BankPort, ContentionModel
+from repro.noc.latency import LatencyModel
+from repro.noc.topology import Floorplan
+
+__all__ = ["BankPort", "ContentionModel", "Floorplan", "LatencyModel"]

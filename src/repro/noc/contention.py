@@ -1,0 +1,76 @@
+"""Bank/port contention model.
+
+Each bank has a single port that is busy for ``busy_cycles`` per access
+(Table I's "10-70 cycles bank access" covers wire traversal; the port
+occupancy models back-to-back service conflicts).  Requests arriving while
+the port is busy queue in FIFO order: the queueing delay is simply how far
+the bank's next-free time lies beyond the request's arrival.
+
+This is the standard single-server approximation for banked-cache
+contention studies; the discrete-event simulator asks it for the delay of
+every L2 access, so cores mapping hot data to the same bank genuinely slow
+each other down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BankPort:
+    """FIFO single-port occupancy state for one bank."""
+
+    busy_cycles: int
+    next_free: float = 0.0
+    served: int = 0
+    total_queue_delay: float = 0.0
+
+    def request(self, arrival: float) -> float:
+        """Serve a request arriving at ``arrival``; returns queue delay."""
+        delay = max(0.0, self.next_free - arrival)
+        start = arrival + delay
+        self.next_free = start + self.busy_cycles
+        self.served += 1
+        self.total_queue_delay += delay
+        return delay
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return self.total_queue_delay / self.served if self.served else 0.0
+
+
+@dataclass
+class ContentionModel:
+    """Per-bank ports plus a memory-controller port for off-chip accesses."""
+
+    num_banks: int
+    bank_busy_cycles: int = 4
+    #: minimum cycles between successive DRAM accesses (bandwidth model);
+    #: 64 B / 64 GB/s at 4 GHz = 4 cycles per line transfer.
+    memory_busy_cycles: int = 4
+    ports: list[BankPort] = field(init=False)
+    memory_port: BankPort = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_banks < 1:
+            raise ValueError("need at least one bank")
+        self.ports = [
+            BankPort(self.bank_busy_cycles) for _ in range(self.num_banks)
+        ]
+        self.memory_port = BankPort(self.memory_busy_cycles)
+
+    def bank_delay(self, bank: int, arrival: float) -> float:
+        return self.ports[bank].request(arrival)
+
+    def memory_delay(self, arrival: float) -> float:
+        return self.memory_port.request(arrival)
+
+    def reset(self) -> None:
+        for port in self.ports:
+            port.next_free = 0.0
+            port.served = 0
+            port.total_queue_delay = 0.0
+        self.memory_port.next_free = 0.0
+        self.memory_port.served = 0
+        self.memory_port.total_queue_delay = 0.0

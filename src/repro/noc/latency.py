@@ -1,0 +1,62 @@
+"""Uncontended DNUCA access-latency model (paper Table I / Section II).
+
+"The access latency to a L2 cache bank varies from 10 up to 70 cycles
+depending on the physical location of both the core requesting the access
+and the L2 bank containing the data" — 10 cycles for the adjacent Local
+bank, 70 cycles for the 7-hops-away one.  We interpolate linearly in hop
+distance:
+
+    ``latency(core, bank) = min_latency + per_hop * hops(core, bank)``
+
+with ``per_hop = (70 - 10) / 7`` on the paper machine, rounded to whole
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import L2Config
+from repro.noc.topology import Floorplan
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Hop-proportional bank access latency."""
+
+    floorplan: Floorplan = field(default_factory=Floorplan)
+    min_latency: int = 10
+    max_latency: int = 70
+
+    def __post_init__(self) -> None:
+        if self.min_latency < 1 or self.max_latency < self.min_latency:
+            raise ValueError("latency bounds must satisfy 1 <= min <= max")
+
+    @property
+    def cycles_per_hop(self) -> float:
+        max_hops = self.floorplan.max_hops()
+        if max_hops == 0:
+            return 0.0
+        return (self.max_latency - self.min_latency) / max_hops
+
+    def bank_latency(self, core: int, bank: int) -> int:
+        """Uncontended round-trip access latency from a core to a bank."""
+        hops = self.floorplan.hops(core, bank)
+        raw = self.min_latency + self.cycles_per_hop * hops
+        return min(round(raw), self.max_latency)
+
+    def latency_table(self) -> list[list[int]]:
+        """[core][bank] latency matrix, handy for tests and reports."""
+        return [
+            [self.bank_latency(c, b) for b in range(self.floorplan.num_banks)]
+            for c in range(self.floorplan.num_cores)
+        ]
+
+    @staticmethod
+    def from_config(config: L2Config, num_cores: int) -> "LatencyModel":
+        plan = Floorplan(num_cores=num_cores, num_banks=config.num_banks)
+        return LatencyModel(
+            plan,
+            min_latency=config.min_latency,
+            max_latency=config.max_latency,
+        )

@@ -1,0 +1,82 @@
+"""The CMP floorplan of paper Fig. 1.
+
+Eight cores sit in a row; each core is adjacent to one *Local* L2 bank, and
+the eight *Center* banks occupy the middle of the die.  Access latency to a
+bank is distance-dependent (DNUCA): a core reaching its own Local bank pays
+the minimum 10 cycles; reaching the Local bank next to the far-end core
+takes 7 hops and 70 cycles.  Center banks have higher average latency than a
+core's own Local bank but — being centrally placed — much smaller variation
+across cores, exactly as the paper describes.
+
+The topology is parameterised by core count so scaled machines keep the
+same shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.floorplan import center_bank_positions
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """Bank positions along the die for an ``num_cores``-core machine.
+
+    Banks ``0..num_cores-1`` are Local (bank *i* at core *i*'s position);
+    banks ``num_cores..num_banks-1`` are Center banks clustered around the
+    die middle, one row away from the cores.
+    """
+
+    num_cores: int = 8
+    num_banks: int = 16
+    #: extra hop for crossing from the core row to the Center-bank row.
+    center_row_hops: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_banks < self.num_cores:
+            raise ValueError("need one Local bank per core")
+        if self.num_cores < 1:
+            raise ValueError("need at least one core")
+
+    @property
+    def num_centers(self) -> int:
+        return self.num_banks - self.num_cores
+
+    def is_local(self, bank: int) -> bool:
+        self._check_bank(bank)
+        return bank < self.num_cores
+
+    def local_bank_of(self, core: int) -> int:
+        self._check_core(core)
+        return core
+
+    def bank_position(self, bank: int) -> float:
+        """Horizontal coordinate of a bank (core *i* sits at x = i)."""
+        self._check_bank(bank)
+        if bank < self.num_cores:
+            return float(bank)
+        centers = center_bank_positions(self.num_cores, self.num_centers)
+        return centers[bank - self.num_cores]
+
+    def hops(self, core: int, bank: int) -> float:
+        """Network hop distance from a core to a bank."""
+        self._check_core(core)
+        pos = self.bank_position(bank)
+        base = abs(core - pos)
+        if not self.is_local(bank):
+            base += self.center_row_hops
+        return base
+
+    def max_hops(self) -> float:
+        """The worst-case distance (core 0 to the Local bank of the last
+        core — the paper's 7-hop, 70-cycle case)."""
+        return float(self.num_cores - 1)
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise IndexError(f"core {core} out of range")
+
+    def _check_bank(self, bank: int) -> None:
+        if not 0 <= bank < self.num_banks:
+            raise IndexError(f"bank {bank} out of range")

@@ -1,0 +1,35 @@
+"""Cache-partition assignment algorithms and physical allocation."""
+
+from repro.partitioning.allocation import (
+    assign_center_banks,
+    center_bank_positions,
+    decision_to_partition_map,
+    vector_to_private_map,
+)
+from repro.partitioning.bank_aware import BankAwareDecision, bank_aware_partition
+from repro.partitioning.static import (
+    ALL_SCHEMES,
+    SCHEME_BANK_AWARE,
+    SCHEME_EQUAL,
+    SCHEME_NO_PARTITION,
+    SCHEME_UNRESTRICTED,
+    equal_partition,
+)
+from repro.partitioning.unrestricted import predicted_misses, unrestricted_partition
+
+__all__ = [
+    "ALL_SCHEMES",
+    "BankAwareDecision",
+    "SCHEME_BANK_AWARE",
+    "SCHEME_EQUAL",
+    "SCHEME_NO_PARTITION",
+    "SCHEME_UNRESTRICTED",
+    "assign_center_banks",
+    "bank_aware_partition",
+    "center_bank_positions",
+    "decision_to_partition_map",
+    "equal_partition",
+    "predicted_misses",
+    "unrestricted_partition",
+    "vector_to_private_map",
+]

@@ -1,0 +1,202 @@
+"""The Bank-aware partition assignment algorithm (paper Section III.B/C).
+
+The contribution of the paper: marginal-utility cache partitioning that
+respects the physical bank structure of the DNUCA L2.  The restrictions
+(Fig. 5/6):
+
+* **Rule 1** — Center banks are assigned *whole* (8 ways) to a single core,
+  so aggregated banks always have equal capacity.
+* **Rule 2** — any core that receives Center banks also receives its entire
+  Local bank.
+* **Rule 3** — Local banks may only be way-shared between *adjacent* cores,
+  keeping data transfers short; each core pairs with at most one neighbour.
+
+The algorithm (flow chart, Fig. 6) proceeds in two phases:
+
+1. **Center banks** — starting from every core owning its Local bank,
+   repeatedly grant a whole Center bank to the core whose marginal utility
+   for +8 ways is highest (subject to the 9/16 maximum-capacity cap) until
+   all Center banks are assigned.  Cores that received Center banks are
+   marked *complete* (Rules 1+2).
+2. **Local banks** — among the remaining cores, repeatedly find the core
+   with the highest marginal utility for one extra way.  Growing past its
+   own 8-way Local bank overflows into a neighbour's bank, so at that point
+   the *ideal pair* is chosen — the adjacent incomplete core minimising the
+   pair's combined misses under the best split of their 16 shared ways —
+   and both cores are marked complete (pairing is deferred until forced).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.profiling.miss_curve import MissCurve
+
+
+@dataclass(frozen=True)
+class BankAwareDecision:
+    """Outcome of the Bank-aware assignment.
+
+    ``ways[c]`` is core *c*'s total way count; ``center_banks[c]`` how many
+    whole Center banks it owns; ``pairs`` the adjacent couples sharing their
+    Local banks.  Structural invariants (checked in ``__post_init__``):
+    capacity adds up, center-bank cores own exactly ``8 + 8k`` ways, paired
+    cores' ways sum to two Local banks, pairs are adjacent and disjoint.
+    """
+
+    ways: tuple[int, ...]
+    center_banks: tuple[int, ...]
+    pairs: tuple[tuple[int, int], ...]
+    bank_ways: int = 8
+
+    def __post_init__(self) -> None:
+        n = len(self.ways)
+        if len(self.center_banks) != n:
+            raise ValueError("one center-bank count per core required")
+        paired: set[int] = set()
+        for a, b in self.pairs:
+            if b != a + 1:
+                raise ValueError(f"pair ({a},{b}) is not adjacent")
+            if a in paired or b in paired:
+                raise ValueError("a core may belong to only one pair")
+            paired.update((a, b))
+            if self.center_banks[a] or self.center_banks[b]:
+                raise ValueError("center-bank cores may not share Local banks")
+            if self.ways[a] + self.ways[b] != 2 * self.bank_ways:
+                raise ValueError("a pair must split exactly two Local banks")
+        for core in range(n):
+            if self.center_banks[core]:
+                expect = self.bank_ways * (1 + self.center_banks[core])
+                if self.ways[core] != expect:
+                    raise ValueError(
+                        f"core {core} has {self.center_banks[core]} center "
+                        f"banks but {self.ways[core]} ways (expected {expect})"
+                    )
+            elif core not in paired and self.ways[core] != self.bank_ways:
+                raise ValueError(
+                    f"unpaired core {core} must own exactly its Local bank"
+                )
+
+    @property
+    def total_ways(self) -> int:
+        return sum(self.ways)
+
+    def pair_of(self, core: int) -> tuple[int, int] | None:
+        for pair in self.pairs:
+            if core in pair:
+                return pair
+        return None
+
+
+def _best_pair_split(
+    curve_a: MissCurve,
+    curve_b: MissCurve,
+    pair_capacity: int,
+    min_ways: int,
+) -> tuple[int, int, float]:
+    """Optimal split of ``pair_capacity`` ways between two cores: returns
+    ``(ways_a, ways_b, combined_misses)`` minimising total misses."""
+    best = None
+    for wa in range(min_ways, pair_capacity - min_ways + 1):
+        misses = curve_a.misses_at(wa) + curve_b.misses_at(pair_capacity - wa)
+        if best is None or misses < best[2]:
+            best = (wa, pair_capacity - wa, misses)
+    assert best is not None
+    return best
+
+
+def bank_aware_partition(
+    curves: Sequence[MissCurve],
+    *,
+    num_banks: int = 16,
+    bank_ways: int = 8,
+    max_ways_per_core: int | None = None,
+    min_ways: int = 1,
+) -> BankAwareDecision:
+    """Run the Bank-aware assignment for ``len(curves)`` cores.
+
+    The machine must have one Local bank per core; the remaining banks are
+    Center banks.  ``max_ways_per_core`` defaults to the paper's 9/16 cap.
+    """
+    n = len(curves)
+    if n < 1:
+        raise ValueError("need at least one core")
+    num_centers = num_banks - n
+    if num_centers < 0:
+        raise ValueError("need one Local bank per core")
+    total_ways = num_banks * bank_ways
+    cap = (
+        (total_ways * 9) // 16 if max_ways_per_core is None else max_ways_per_core
+    )
+    if cap < bank_ways:
+        raise ValueError("cap must allow at least the Local bank")
+
+    # ---- Phase A: whole Center banks by marginal utility (Boxes 1-3) ------
+    alloc = [bank_ways] * n  # each Local bank assumed owned by its core
+    centers = [0] * n
+    for _ in range(num_centers):
+        best_core = -1
+        best_key: tuple[float, float] | None = None
+        for core, curve in enumerate(curves):
+            if alloc[core] + bank_ways > cap:
+                continue
+            mu = curve.marginal_utility(alloc[core], bank_ways)
+            # tie-break zero-utility grants toward whoever still misses most,
+            # so spare capacity lands where it could plausibly help
+            key = (mu, curve.misses_at(alloc[core]))
+            if best_key is None or key > best_key:
+                best_key, best_core = key, core
+        if best_core < 0:
+            raise RuntimeError("capacity cap leaves a Center bank unassignable")
+        alloc[best_core] += bank_ways
+        centers[best_core] += 1
+    complete = [centers[c] > 0 for c in range(n)]
+
+    # ---- Phase B: Local-bank way sharing between neighbours (Boxes 4-5) ---
+    pairs: list[tuple[int, int]] = []
+    while True:
+        best_core = -1
+        best_mu = 0.0
+        for core, curve in enumerate(curves):
+            if complete[core]:
+                continue
+            mu = curve.marginal_utility(alloc[core], 1)
+            if mu > best_mu:
+                best_mu, best_core = mu, core
+        if best_core < 0:
+            break  # nobody incomplete wants to grow
+        # Growing past the Local bank overflows into a neighbour: choose the
+        # ideal (minimal combined misses) adjacent incomplete partner now.
+        candidates = [
+            p
+            for p in (best_core - 1, best_core + 1)
+            if 0 <= p < n and not complete[p]
+        ]
+        if not candidates:
+            complete[best_core] = True  # boxed in: keeps its Local bank
+            continue
+        best_partner = -1
+        best_split: tuple[int, int, float] | None = None
+        for p in candidates:
+            a, b = min(best_core, p), max(best_core, p)
+            wa, wb, misses = _best_pair_split(
+                curves[a], curves[b], 2 * bank_ways, min_ways
+            )
+            if best_split is None or misses < best_split[2]:
+                best_split = (wa, wb, misses)
+                best_partner = p
+        assert best_split is not None
+        a, b = min(best_core, best_partner), max(best_core, best_partner)
+        alloc[a], alloc[b] = best_split[0], best_split[1]
+        complete[a] = complete[b] = True
+        pairs.append((a, b))
+
+    decision = BankAwareDecision(
+        ways=tuple(alloc),
+        center_banks=tuple(centers),
+        pairs=tuple(sorted(pairs)),
+        bank_ways=bank_ways,
+    )
+    assert decision.total_ways == total_ways
+    return decision

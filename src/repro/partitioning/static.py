@@ -1,0 +1,32 @@
+"""Static partitioning baselines (paper Section IV).
+
+* **Equal-partitions** — every core gets an identical private share
+  (16 ways = its Local bank + one Center bank on the paper machine).
+* **No-partitions** — the fully shared cache; not a way vector at all, but
+  represented here for uniform handling by the experiment drivers.
+"""
+
+from __future__ import annotations
+
+
+def equal_partition(num_cores: int, total_ways: int) -> list[int]:
+    """The fixed even share per core (paper: 16 ways each)."""
+    if num_cores < 1:
+        raise ValueError("need at least one core")
+    if total_ways % num_cores:
+        raise ValueError("total ways must divide evenly among cores")
+    return [total_ways // num_cores] * num_cores
+
+
+#: Scheme names used throughout the experiment drivers.
+SCHEME_NO_PARTITION = "no-partitions"
+SCHEME_EQUAL = "equal-partitions"
+SCHEME_BANK_AWARE = "bank-aware"
+SCHEME_UNRESTRICTED = "unrestricted"
+
+ALL_SCHEMES = (
+    SCHEME_NO_PARTITION,
+    SCHEME_EQUAL,
+    SCHEME_BANK_AWARE,
+    SCHEME_UNRESTRICTED,
+)

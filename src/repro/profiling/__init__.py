@@ -1,0 +1,23 @@
+"""MSA stack-distance profiling: exact and hardware-sampled, plus the
+miss-curve / marginal-utility layer and the Table II overhead model."""
+
+from repro.profiling.miss_curve import MissCurve, load_curves, save_curves
+from repro.profiling.msa import MSAProfiler
+from repro.profiling.overhead import (
+    OverheadReport,
+    profiler_overhead,
+    system_overhead_fraction,
+)
+from repro.profiling.sampled import SampledMSAProfiler, profile_error
+
+__all__ = [
+    "MSAProfiler",
+    "MissCurve",
+    "OverheadReport",
+    "SampledMSAProfiler",
+    "load_curves",
+    "profile_error",
+    "profiler_overhead",
+    "save_curves",
+    "system_overhead_fraction",
+]

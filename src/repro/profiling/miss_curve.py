@@ -1,0 +1,126 @@
+"""Miss-ratio curves and marginal utility (paper Section III.C).
+
+The MSA histogram projects the miss count of every cache size; the
+allocation algorithms consume that projection through *marginal utility*,
+the economics concept the paper borrows from von Wieser:
+
+    ``MarginalUtility(n) = (MissRate(c) - MissRate(c + n)) / n``
+
+i.e. the per-way miss reduction of growing an allocation from ``c`` to
+``c + n`` ways.  :class:`MissCurve` wraps the projected miss counts with
+vectorised marginal-utility queries so the partitioning loops stay cheap
+even inside the 1000-mix Monte Carlo harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MissCurve:
+    """Projected misses for allocations of 0..K ways of one workload."""
+
+    name: str
+    misses: np.ndarray  #: misses[w] = misses with w dedicated ways
+    total_accesses: float
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.misses, dtype=np.float64)
+        if m.ndim != 1 or len(m) < 2:
+            raise ValueError("need misses for at least sizes 0 and 1")
+        if np.any(np.diff(m) > 1e-9):
+            raise ValueError("miss counts must be non-increasing in ways")
+        if self.total_accesses < m[0] - 1e-9:
+            raise ValueError("size-0 misses cannot exceed total accesses")
+        object.__setattr__(self, "misses", m)
+
+    @property
+    def max_ways(self) -> int:
+        return len(self.misses) - 1
+
+    def misses_at(self, ways: int) -> float:
+        """Projected misses with ``ways`` dedicated ways (clamped at K —
+        an LRU cache larger than the tracked depth cannot miss more)."""
+        if ways < 0:
+            raise ValueError("ways must be non-negative")
+        return float(self.misses[min(ways, self.max_ways)])
+
+    def miss_ratio_at(self, ways: int) -> float:
+        if self.total_accesses == 0:
+            return 0.0
+        return self.misses_at(ways) / self.total_accesses
+
+    def miss_ratio_curve(self) -> np.ndarray:
+        if self.total_accesses == 0:
+            return np.zeros_like(self.misses)
+        return self.misses / self.total_accesses
+
+    # -- marginal utility ----------------------------------------------------
+
+    def marginal_utility(self, current: int, extra: int) -> float:
+        """Miss reduction per way of growing from ``current`` by ``extra``."""
+        if extra < 1:
+            raise ValueError("extra ways must be positive")
+        return (self.misses_at(current) - self.misses_at(current + extra)) / extra
+
+    def marginal_utilities(self, current: int, max_extra: int) -> np.ndarray:
+        """``out[n-1]`` = marginal utility of ``n`` extra ways, vectorised
+        for n = 1..max_extra (the lookahead scan of the UCP algorithm)."""
+        if max_extra < 1:
+            raise ValueError("max_extra must be positive")
+        base = self.misses_at(current)
+        sizes = np.minimum(current + np.arange(1, max_extra + 1), self.max_ways)
+        return (base - self.misses[sizes]) / np.arange(1.0, max_extra + 1)
+
+    def best_marginal_utility(self, current: int, max_extra: int) -> tuple[float, int]:
+        """The lookahead step: max marginal utility over 1..max_extra extra
+        ways and the (smallest) allocation achieving it."""
+        mu = self.marginal_utilities(current, max_extra)
+        best = int(np.argmax(mu))
+        return float(mu[best]), best + 1
+
+    @staticmethod
+    def from_histogram(
+        name: str, histogram: np.ndarray, *, total_accesses: float | None = None
+    ) -> "MissCurve":
+        """Build a curve from an MSA histogram (K hit counters + miss)."""
+        h = np.asarray(histogram, dtype=np.float64)
+        if h.ndim != 1 or len(h) < 2:
+            raise ValueError("histogram needs K hit counters plus a miss bin")
+        total = float(h.sum()) if total_accesses is None else total_accesses
+        hits_cum = np.concatenate(([0.0], np.cumsum(h[:-1])))
+        return MissCurve(name, total - hits_cum, total)
+
+    @staticmethod
+    def from_profiler(profiler, name: str | None = None) -> "MissCurve":
+        """Build a curve from any profiler exposing ``histogram``."""
+        label = name if name is not None else getattr(profiler, "name", "curve")
+        return MissCurve.from_histogram(label, profiler.histogram)
+
+
+def save_curves(path, curves: dict[str, MissCurve]) -> None:
+    """Persist a set of miss curves to one ``.npz`` file.
+
+    Profiling the whole suite is the slow step of the analytic experiments;
+    cached curves make Monte Carlo sweeps and CLI calls instant.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for name, curve in curves.items():
+        arrays[f"misses:{name}"] = curve.misses
+        arrays[f"total:{name}"] = np.array([curve.total_accesses])
+    np.savez_compressed(path, **arrays)
+
+
+def load_curves(path) -> dict[str, MissCurve]:
+    """Load curves written by :func:`save_curves`."""
+    out: dict[str, MissCurve] = {}
+    with np.load(path) as data:
+        names = [k.split(":", 1)[1] for k in data.files if k.startswith("misses:")]
+        for name in names:
+            out[name] = MissCurve(
+                name, data[f"misses:{name}"], float(data[f"total:{name}"][0])
+            )
+    return out

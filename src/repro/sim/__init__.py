@@ -1,0 +1,27 @@
+"""Full-system discrete-event simulation."""
+
+from repro.sim.controller import EpochController
+from repro.sim.runner import (
+    RunSettings,
+    SchemeComparison,
+    build_system,
+    compare_schemes,
+    run_mix,
+)
+from repro.sim.stats import CoreResult, EpochRecord, SystemResult
+from repro.sim.system import ALL_SIM_SCHEMES, DETAILED_SCHEMES, CMPSystem
+
+__all__ = [
+    "ALL_SIM_SCHEMES",
+    "CMPSystem",
+    "CoreResult",
+    "DETAILED_SCHEMES",
+    "EpochController",
+    "EpochRecord",
+    "RunSettings",
+    "SchemeComparison",
+    "SystemResult",
+    "build_system",
+    "compare_schemes",
+    "run_mix",
+]

@@ -1,0 +1,114 @@
+"""The epoch-based dynamic repartitioning controller (paper Section IV).
+
+"The frequency of evaluating and reallocating the L2 cache partitions was
+set to a 100M cycle epoch."  At each epoch boundary the controller reads the
+per-core MSA profilers, computes a fresh Bank-aware assignment, installs it
+on the NUCA (replacement-mask enforcement only — resident lines drain
+naturally), and exponentially decays the histograms so the next decision
+tracks phase changes without forgetting instantly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.cache.nuca import NucaL2
+from repro.partitioning.allocation import (
+    decision_to_partition_map,
+    vector_to_private_map,
+)
+from repro.partitioning.bank_aware import bank_aware_partition
+from repro.partitioning.unrestricted import unrestricted_partition
+from repro.profiling.miss_curve import MissCurve
+from repro.sim.stats import EpochRecord
+
+
+class EpochController:
+    """Drives dynamic repartitioning from live profiler state.
+
+    ``algorithm='bank-aware'`` is the paper's scheme; ``'unrestricted'``
+    runs the UCP-lookahead baseline instead, materialised as contiguous
+    private way regions (physically unrealistic — it straddles banks in
+    arbitrary fractions — which is exactly what makes it the idealised
+    comparison point)."""
+
+    def __init__(
+        self,
+        l2: NucaL2,
+        profilers: Sequence,
+        workload_names: Sequence[str],
+        *,
+        epoch_cycles: float,
+        max_ways_per_core: int,
+        decay: float = 0.5,
+        min_observations: int = 1000,
+        algorithm: str = "bank-aware",
+    ) -> None:
+        if algorithm not in ("bank-aware", "unrestricted"):
+            raise ValueError("algorithm must be 'bank-aware' or 'unrestricted'")
+        if epoch_cycles <= 0:
+            raise ValueError("epoch length must be positive")
+        if not 0.0 <= decay <= 1.0:
+            raise ValueError("decay must be in [0, 1]")
+        if len(profilers) != len(workload_names):
+            raise ValueError("one profiler per workload required")
+        self.l2 = l2
+        self.profilers = list(profilers)
+        self.names = list(workload_names)
+        self.epoch_cycles = epoch_cycles
+        self.max_ways_per_core = max_ways_per_core
+        self.decay = decay
+        self.min_observations = min_observations
+        self.algorithm = algorithm
+        self.next_epoch = epoch_cycles
+        self.history: list[EpochRecord] = []
+
+    def due(self, now: float) -> bool:
+        return now >= self.next_epoch
+
+    def tick(self, now: float) -> bool:
+        """Repartition if an epoch boundary has passed; returns True when a
+        new partition was installed."""
+        if not self.due(now):
+            return False
+        while self.next_epoch <= now:
+            self.next_epoch += self.epoch_cycles
+        total_observed = sum(float(p.histogram.sum()) for p in self.profilers)
+        if total_observed < self.min_observations:
+            return False  # not enough profile signal yet; keep current map
+        curves = [
+            MissCurve.from_histogram(name, prof.histogram)
+            for name, prof in zip(self.names, self.profilers)
+        ]
+        if self.algorithm == "bank-aware":
+            decision = bank_aware_partition(
+                curves,
+                num_banks=self.l2.config.num_banks,
+                bank_ways=self.l2.config.bank_ways,
+                max_ways_per_core=self.max_ways_per_core,
+            )
+            pmap = decision_to_partition_map(
+                decision, num_banks=self.l2.config.num_banks
+            )
+            record = EpochRecord(
+                now, decision.ways, decision.center_banks, decision.pairs
+            )
+        else:
+            ways = unrestricted_partition(
+                curves, self.l2.config.num_banks * self.l2.config.bank_ways
+            )
+            pmap = vector_to_private_map(
+                ways,
+                num_banks=self.l2.config.num_banks,
+                bank_ways=self.l2.config.bank_ways,
+            )
+            record = EpochRecord(now, tuple(ways))
+        self.l2.apply_partition(pmap)
+        self.history.append(record)
+        for prof in self.profilers:
+            prof.decay(self.decay)
+        return True
+
+    @property
+    def last_decision(self) -> EpochRecord | None:
+        return self.history[-1] if self.history else None

@@ -1,0 +1,156 @@
+"""High-level experiment entry points.
+
+Wraps trace generation + system construction + measurement windows into the
+one-call experiments the benchmarks and examples need, mirroring the paper's
+methodology: fast-forward (we simply generate), warm the L2, then measure a
+concurrent slice (Section IV).
+
+Runs are sized in *simulated cycles*: each core receives a trace long enough
+(by an access-rate estimate with safety margin) to stay busy for the whole
+duration, and the simulation ends when the duration — or the shortest
+trace — runs out, so every core observes the full contention of its
+co-runners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, scaled_config
+from repro.sim.stats import SystemResult
+from repro.sim.system import DETAILED_SCHEMES, CMPSystem
+from repro.util.stats import relative
+from repro.workloads.mixes import Mix
+from repro.workloads.synthetic import WorkloadSpec, generate_trace
+
+#: address-space stride between cores so multiprogrammed footprints never
+#: overlap (the paper's workloads are independent processes).
+CORE_ADDRESS_STRIDE = 1 << 40
+
+
+def estimate_access_rate(spec: WorkloadSpec, config: SystemConfig) -> float:
+    """Rough L2 accesses per cycle for trace sizing (not for results).
+
+    Assumes a pessimistic-but-typical average access latency of one bank
+    round trip plus half a memory access, overlapped by the workload's MLP.
+    """
+    mean_latency = 40.0 + 0.5 * config.memory.latency_cycles
+    period = spec.mean_gap * spec.nonmem_cpi + mean_latency / spec.mlp
+    return 1.0 / max(period, 1.0)
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Shared knobs for one detailed simulation."""
+
+    duration_cycles: float = 6_000_000.0
+    warmup_fraction: float = 0.5
+    seed: int = 1
+    #: intra-partition data placement ('dnuca' = gravity chain, keeping the
+    #: latency playing field level with the DNUCA baseline; 'parallel' and
+    #: 'hash' are the paper's Fig. 4 aggregation alternatives).
+    placement: str = "dnuca"
+    #: organisation of the No-partitions baseline ('dnuca' = the paper's
+    #: migrating DNUCA; 'parallel'/'hash' are idealised shared caches).
+    shared_placement: str = "dnuca"
+    profiler_kind: str = "sampled"
+    #: trace-length safety margin over the estimated access rate.
+    trace_margin: float = 1.7
+    #: epoch-to-epoch histogram decay (higher keeps more history, letting
+    #: slow workloads with deep pools accumulate stack-distance evidence).
+    profiler_decay: float = 0.75
+
+    @property
+    def warmup_cycles(self) -> float:
+        return self.duration_cycles * self.warmup_fraction
+
+
+def build_system(
+    mix: Mix,
+    scheme: str,
+    config: SystemConfig | None = None,
+    settings: RunSettings | None = None,
+) -> CMPSystem:
+    """Construct a ready-to-run system for one workload mix and scheme."""
+    cfg = config or scaled_config()
+    st = settings or RunSettings()
+    specs = mix.specs()
+    if len(specs) != cfg.num_cores:
+        raise ValueError(
+            f"mix has {len(specs)} workloads, machine has {cfg.num_cores} cores"
+        )
+    traces = [
+        generate_trace(
+            spec,
+            int(
+                st.duration_cycles
+                * estimate_access_rate(spec, cfg)
+                * st.trace_margin
+            )
+            + 1,
+            cfg.l2.sets_per_bank,
+            seed=st.seed + core,
+            base_address=core * CORE_ADDRESS_STRIDE,
+        )
+        for core, spec in enumerate(specs)
+    ]
+    system = CMPSystem(
+        cfg,
+        specs,
+        traces,
+        scheme=scheme,
+        placement=st.placement,
+        shared_placement=st.shared_placement,
+        profiler_kind=st.profiler_kind,
+        profiler_decay=st.profiler_decay,
+    )
+    system.set_measurement_window(st.warmup_cycles, st.duration_cycles)
+    return system
+
+
+def run_mix(
+    mix: Mix,
+    scheme: str,
+    config: SystemConfig | None = None,
+    settings: RunSettings | None = None,
+) -> SystemResult:
+    """Simulate one mix under one scheme and return measured results."""
+    return build_system(mix, scheme, config, settings).run()
+
+
+@dataclass(frozen=True)
+class SchemeComparison:
+    """Per-mix outcome of the paper's three detailed schemes (Figs. 8/9)."""
+
+    mix: Mix
+    results: dict[str, SystemResult]
+
+    def relative_miss_rate(self, scheme: str) -> float:
+        """Aggregate misses-per-instruction of ``scheme`` relative to
+        *No-partitions*.  Normalising by retired instructions makes the
+        time-based windows comparable: a scheme that speeds cores up retires
+        more instructions in the same duration and must not be charged for
+        the extra misses that come with them."""
+        base = self.results["no-partitions"]
+        ours = self.results[scheme]
+        base_mpi = relative(base.total_misses, base.total_instructions)
+        our_mpi = relative(ours.total_misses, ours.total_instructions)
+        return relative(our_mpi, base_mpi)
+
+    def relative_cpi(self, scheme: str) -> float:
+        """Mean CPI of ``scheme`` relative to *No-partitions*."""
+        base = self.results["no-partitions"].mean_cpi
+        return relative(self.results[scheme].mean_cpi, base)
+
+
+def compare_schemes(
+    mix: Mix,
+    config: SystemConfig | None = None,
+    settings: RunSettings | None = None,
+    schemes: tuple[str, ...] = DETAILED_SCHEMES,
+) -> SchemeComparison:
+    """Run one mix under every detailed scheme (same traces/seed)."""
+    results = {
+        scheme: run_mix(mix, scheme, config, settings) for scheme in schemes
+    }
+    return SchemeComparison(mix, results)

@@ -1,0 +1,81 @@
+"""Result containers for full-system simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.stats import safe_div
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Measured behaviour of one core over the measurement window."""
+
+    core: int
+    workload: str
+    instructions: int
+    cycles: float
+    l2_accesses: int
+    l2_misses: int
+
+    @property
+    def cpi(self) -> float:
+        return safe_div(self.cycles, self.instructions)
+
+    @property
+    def miss_rate(self) -> float:
+        return safe_div(self.l2_misses, self.l2_accesses)
+
+    @property
+    def mpki(self) -> float:
+        """L2 misses per kilo-instruction."""
+        return safe_div(1000.0 * self.l2_misses, self.instructions)
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One dynamic-repartitioning decision."""
+
+    time: float
+    ways: tuple[int, ...]
+    center_banks: tuple[int, ...] | None = None
+    pairs: tuple[tuple[int, int], ...] | None = None
+
+
+@dataclass
+class SystemResult:
+    """Aggregate outcome of one simulation run."""
+
+    scheme: str
+    cores: list[CoreResult] = field(default_factory=list)
+    migrations: int = 0
+    writebacks: int = 0
+    epochs: list[EpochRecord] = field(default_factory=list)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(c.instructions for c in self.cores)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(c.l2_accesses for c in self.cores)
+
+    @property
+    def total_misses(self) -> int:
+        return sum(c.l2_misses for c in self.cores)
+
+    @property
+    def miss_rate(self) -> float:
+        return safe_div(self.total_misses, self.total_accesses)
+
+    @property
+    def mean_cpi(self) -> float:
+        """Arithmetic mean of per-core CPI (the paper reports per-set CPI
+        relative to the no-partition scheme; means keep cores equal-weight
+        rather than instruction-weighted)."""
+        if not self.cores:
+            return 0.0
+        return sum(c.cpi for c in self.cores) / len(self.cores)
+
+    def core(self, idx: int) -> CoreResult:
+        return self.cores[idx]

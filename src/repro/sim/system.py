@@ -1,0 +1,253 @@
+"""The full CMP discrete-event simulator.
+
+Ties together everything the paper's Simics/GEMS setup provided: per-core
+trace replay through analytic core timers, the banked DNUCA L2 with way
+partitioning, the hop-latency NoC with per-bank port contention, the DRAM
+latency/bandwidth model, per-core MSA profilers and the dynamic epoch
+controller.
+
+The event loop is a classic min-heap over the cores' next L2-access arrival
+times, so cores genuinely interleave in simulated time and contend for bank
+ports; each access's end-to-end latency feeds back into its core's clock
+(divided by the workload's memory-level parallelism).
+
+Measurement is *time-based*, mirroring the paper's fixed instruction slices
+run concurrently: all cores stay co-scheduled for the whole simulation
+(the run stops as soon as any core exhausts its trace), and each core's
+statistics window opens once the simulated clock passes the warmup
+boundary.  This matters — with per-core access quotas, fast memory-bound
+cores would finish early and leave the cache quiet for the survivors,
+silently removing the contention being studied.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.cache.nuca import NucaL2
+from repro.cache.partition_map import equal_partition_map
+from repro.config import SystemConfig
+from repro.cpu.core import CoreSnapshot, CoreTimer
+from repro.mem.trace import Trace
+from repro.noc.contention import ContentionModel
+from repro.noc.latency import LatencyModel
+from repro.profiling.msa import MSAProfiler
+from repro.profiling.sampled import SampledMSAProfiler
+from repro.sim.controller import EpochController
+from repro.sim.stats import CoreResult, SystemResult
+from repro.workloads.synthetic import WorkloadSpec
+
+#: the paper's detailed-simulation schemes (Figs. 8/9 compare these three).
+DETAILED_SCHEMES = ("no-partitions", "equal-partitions", "bank-aware")
+
+#: all schemes the simulator supports; "unrestricted" runs the dynamic
+#: UCP-lookahead baseline with a physically idealised layout (the paper
+#: evaluates it only analytically — we can also cross-check it in detail).
+ALL_SIM_SCHEMES = DETAILED_SCHEMES + ("unrestricted",)
+
+
+class CMPSystem:
+    """An 8-core (configurable) CMP running one trace per core."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        specs: Sequence[WorkloadSpec],
+        traces: Sequence[Trace],
+        *,
+        scheme: str = "bank-aware",
+        placement: str = "parallel",
+        shared_placement: str = "dnuca",
+        profiler_kind: str = "sampled",
+        profiler_decay: float = 0.5,
+    ) -> None:
+        config.validate()
+        if scheme not in ALL_SIM_SCHEMES:
+            raise ValueError(f"scheme must be one of {ALL_SIM_SCHEMES}")
+        if len(specs) != config.num_cores or len(traces) != config.num_cores:
+            raise ValueError("need one spec and one trace per core")
+        if profiler_kind not in ("sampled", "exact", "none"):
+            raise ValueError("profiler_kind must be sampled/exact/none")
+        self.config = config
+        self.specs = list(specs)
+        self.scheme = scheme
+        # The shared baseline is the paper's migrating DNUCA; partitioned
+        # schemes aggregate their banks with Parallel (or Address-Hash).
+        effective_placement = (
+            shared_placement if scheme == "no-partitions" else placement
+        )
+        self.l2 = NucaL2(config.l2, config.num_cores, placement=effective_placement)
+        self.latency = LatencyModel.from_config(config.l2, config.num_cores)
+        self._lat = self.latency.latency_table()  # [core][bank], hot path
+        self.contention = ContentionModel(
+            config.l2.num_banks, bank_busy_cycles=config.l2.bank_busy_cycles
+        )
+        self.timers = [
+            CoreTimer(c, config.core, nonmem_cpi=s.nonmem_cpi, mlp=s.mlp)
+            for c, s in enumerate(self.specs)
+        ]
+        self.profilers = self._build_profilers(profiler_kind)
+        self.controller: EpochController | None = None
+
+        if scheme == "no-partitions":
+            self.l2.share_all()
+        else:
+            self.l2.apply_partition(
+                equal_partition_map(
+                    config.num_cores, config.l2.num_banks, config.l2.bank_ways
+                )
+            )
+        if scheme in ("bank-aware", "unrestricted"):
+            if self.profilers is None:
+                raise ValueError(f"the {scheme} scheme requires profilers")
+            self.controller = EpochController(
+                self.l2,
+                self.profilers,
+                [s.name for s in self.specs],
+                epoch_cycles=config.epoch_cycles,
+                max_ways_per_core=config.max_ways_per_core,
+                decay=profiler_decay,
+                algorithm=scheme if scheme != "bank-aware" else "bank-aware",
+            )
+
+        # flattened trace state for the event loop
+        self._lines = [t.lines.tolist() for t in traces]
+        self._writes = [t.is_write.tolist() for t in traces]
+        self._gaps = [t.gaps.tolist() for t in traces]
+        self._pos = [0] * config.num_cores
+        self._len = [len(t) for t in traces]
+        self.warmup_cycles = 0.0
+        self.max_cycles: float | None = None
+        self._start_snaps: list[CoreSnapshot | None] = [None] * config.num_cores
+        self._start_l2: list[tuple[int, int] | None] = [None] * config.num_cores
+        self.stop_time: float | None = None
+
+    def _build_profilers(self, kind: str):
+        if kind == "none":
+            return None
+        positions = self.config.max_ways_per_core
+        sets = self.config.l2.sets_per_bank
+        if kind == "exact":
+            return [
+                MSAProfiler(sets, positions)
+                for _ in range(self.config.num_cores)
+            ]
+        sampling = min(self.config.profiler.set_sampling, sets)
+        return [
+            SampledMSAProfiler(
+                sets,
+                positions,
+                set_sampling=sampling,
+                partial_tag_bits=self.config.profiler.partial_tag_bits,
+            )
+            for _ in range(self.config.num_cores)
+        ]
+
+    # -- measurement window ----------------------------------------------------
+
+    def set_measurement_window(
+        self, warmup_cycles: float, max_cycles: float | None = None
+    ) -> None:
+        """Open each core's statistics window at ``warmup_cycles`` simulated
+        cycles (the paper warms its caches before the measured slice) and
+        optionally stop the whole run at ``max_cycles``."""
+        if warmup_cycles < 0:
+            raise ValueError("warmup must be non-negative")
+        if max_cycles is not None and max_cycles <= warmup_cycles:
+            raise ValueError("max_cycles must exceed the warmup")
+        self.warmup_cycles = float(warmup_cycles)
+        self.max_cycles = max_cycles
+
+    # -- event loop -----------------------------------------------------------
+
+    def _schedule(self, heap: list, core: int) -> bool:
+        pos = self._pos[core]
+        if pos >= self._len[core]:
+            return False
+        arrival = self.timers[core].advance_compute(self._gaps[core][pos])
+        heapq.heappush(heap, (arrival, core))
+        return True
+
+    def run(self) -> SystemResult:
+        """Simulate until any core's trace is exhausted (or ``max_cycles``);
+        all cores are co-scheduled for the entire simulated duration."""
+        heap: list[tuple[float, int]] = []
+        for core in range(self.config.num_cores):
+            if self.warmup_cycles == 0:
+                self._mark_measure_start(core)
+            self._schedule(heap, core)
+        while heap:
+            arrival, core = heapq.heappop(heap)
+            if self.max_cycles is not None and arrival >= self.max_cycles:
+                self.stop_time = self.max_cycles
+                break
+            if self.controller is not None:
+                self.controller.tick(arrival)
+            if (
+                self._start_snaps[core] is None
+                and arrival >= self.warmup_cycles
+            ):
+                self._mark_measure_start(core)
+            self._process(core, arrival)
+            if not self._schedule(heap, core):
+                self.stop_time = arrival  # first exhausted trace ends the run
+                break
+        return self.results()
+
+    def _process(self, core: int, arrival: float) -> None:
+        pos = self._pos[core]
+        line = self._lines[core][pos]
+        is_write = self._writes[core][pos]
+        if self.profilers is not None:
+            self.profilers[core].observe(line)
+        result = self.l2.access(core, line, is_write=is_write)
+        queue_delay = self.contention.bank_delay(result.bank, arrival)
+        latency = self._lat[core][result.bank] + queue_delay
+        if not result.hit:
+            mem_arrival = arrival + latency
+            latency += self.config.memory.latency_cycles
+            latency += self.contention.memory_delay(mem_arrival)
+        self.timers[core].complete_access(latency)
+        self._pos[core] = pos + 1
+
+    def _mark_measure_start(self, core: int) -> None:
+        self._start_snaps[core] = self.timers[core].snapshot()
+        self._start_l2[core] = (
+            self.l2.stats.hits.get(core, 0),
+            self.l2.stats.misses.get(core, 0),
+        )
+
+    # -- results ---------------------------------------------------------------
+
+    def results(self) -> SystemResult:
+        out = SystemResult(
+            scheme=self.scheme,
+            migrations=self.l2.stats.migrations,
+            writebacks=self.l2.stats.writebacks,
+        )
+        for core in range(self.config.num_cores):
+            start = self._start_snaps[core]
+            l2_start = self._start_l2[core]
+            if start is None or l2_start is None:
+                # never reached its measurement window: report zeros
+                out.cores.append(
+                    CoreResult(core, self.specs[core].name, 0, 0.0, 0, 0)
+                )
+                continue
+            end = self.timers[core].snapshot()
+            hits = self.l2.stats.hits.get(core, 0) - l2_start[0]
+            misses = self.l2.stats.misses.get(core, 0) - l2_start[1]
+            out.cores.append(
+                CoreResult(
+                    core,
+                    self.specs[core].name,
+                    end.instructions - start.instructions,
+                    end.time - start.time,
+                    hits + misses,
+                    misses,
+                )
+            )
+        if self.controller is not None:
+            out.epochs = list(self.controller.history)
+        return out

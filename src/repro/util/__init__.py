@@ -1,0 +1,16 @@
+"""Shared helpers: deterministic RNG streams, bit ops, small statistics."""
+
+from repro.util.bits import hash_fold, ilog2, is_pow2, line_address
+from repro.util.rng import rng_stream
+from repro.util.stats import geometric_mean, relative, safe_div
+
+__all__ = [
+    "geometric_mean",
+    "hash_fold",
+    "ilog2",
+    "is_pow2",
+    "line_address",
+    "relative",
+    "rng_stream",
+    "safe_div",
+]

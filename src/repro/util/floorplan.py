@@ -1,0 +1,53 @@
+"""Floorplan geometry shared by the NoC, the NUCA and the allocators.
+
+The paper's Fig. 1 die: cores 0..N-1 in a row (core *i* at x = *i*), each
+with its Local bank beside it; Center banks clustered around the middle of
+the die, one row away.  This leaf module holds the pure geometry so that the
+cache layer (DNUCA migration), the NoC (latencies) and the partition
+allocator (proximity placement) all agree on it without import cycles.
+"""
+
+from __future__ import annotations
+
+
+def center_bank_positions(num_cores: int, num_centers: int) -> list[float]:
+    """Horizontal positions of the Center banks: spread over the middle half
+    of the die (between 25 % and 75 % of the core row)."""
+    if num_centers < 1:
+        return []
+    span = num_cores - 1
+    if num_centers == 1:
+        return [span / 2]
+    lo, hi = span * 0.25, span * 0.75
+    step = (hi - lo) / (num_centers - 1)
+    return [lo + i * step for i in range(num_centers)]
+
+
+def bank_positions(num_cores: int, num_banks: int) -> list[float]:
+    """Horizontal position of every bank (Locals first, then Centers)."""
+    centers = center_bank_positions(num_cores, num_banks - num_cores)
+    return [float(b) for b in range(num_cores)] + centers
+
+
+def bank_distance(core: int, bank: int, num_cores: int, num_banks: int,
+                  center_row_hops: float = 1.0) -> float:
+    """Hop distance from a core to a bank (Center banks are one row away)."""
+    pos = bank_positions(num_cores, num_banks)[bank]
+    extra = center_row_hops if bank >= num_cores else 0.0
+    return abs(core - pos) + extra
+
+
+def distance_ordered_banks(
+    core: int, num_cores: int, num_banks: int, center_row_hops: float = 1.0
+) -> list[int]:
+    """All banks sorted nearest-first for ``core`` (ties: Local banks first,
+    then lower bank id).  Position 0 is always the core's own Local bank."""
+    positions = bank_positions(num_cores, num_banks)
+
+    def key(bank: int) -> tuple[float, int, int]:
+        extra = center_row_hops if bank >= num_cores else 0.0
+        return (abs(core - positions[bank]) + extra, bank >= num_cores, bank)
+
+    order = sorted(range(num_banks), key=key)
+    assert order[0] == core, "nearest bank must be the core's Local bank"
+    return order

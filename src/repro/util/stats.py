@@ -1,0 +1,26 @@
+"""Small statistics helpers used by the analysis layer."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+def safe_div(num: float, den: float, default: float = 0.0) -> float:
+    """``num / den`` with a fallback when the denominator is zero."""
+    return num / den if den else default
+
+
+def relative(value: float, baseline: float) -> float:
+    """``value / baseline``; 1.0 when the baseline is zero (no change)."""
+    return value / baseline if baseline else 1.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, used by the paper for the 'GM' bar in Figs. 8/9."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

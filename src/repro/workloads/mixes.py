@@ -1,0 +1,74 @@
+"""Workload mixes: Monte Carlo sampling and the paper's eight fixed sets.
+
+The paper evaluates partitioning over the state space of SPEC CPU2000
+combinations (C(26+8-1, 8) ≈ 14 M possibilities) with a Monte Carlo draw of
+1000 random 8-workload assignments *with repetition*, then picks eight mixes
+for detailed full-system simulation (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from repro.util.rng import rng_stream
+from repro.workloads.spec_like import ALL_NAMES, get
+from repro.workloads.synthetic import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Mix:
+    """An assignment of one benchmark per core."""
+
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for name in self.names:
+            get(name)  # validate eagerly
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def specs(self) -> tuple[WorkloadSpec, ...]:
+        return tuple(get(n) for n in self.names)
+
+    def __str__(self) -> str:
+        return "+".join(self.names)
+
+
+#: The eight detailed-simulation mixes of paper Table III (core0..core7).
+TABLE_III_SETS: tuple[Mix, ...] = (
+    Mix(("apsi", "galgel", "gcc", "mgrid", "applu", "mesa", "facerec", "gzip")),
+    Mix(("crafty", "gap", "mcf", "art", "equake", "equake", "bzip2", "equake")),
+    Mix(("applu", "galgel", "art", "art", "sixtrack", "gcc", "mgrid", "lucas")),
+    Mix(("mgrid", "mcf", "art", "equake", "gcc", "equake", "sixtrack", "crafty")),
+    Mix(("facerec", "fma3d", "sixtrack", "apsi", "fma3d", "ammp", "lucas", "swim")),
+    Mix(("bzip2", "gcc", "twolf", "mesa", "wupwise", "applu", "fma3d", "ammp")),
+    Mix(("swim", "parser", "mgrid", "twolf", "fma3d", "parser", "swim", "mcf")),
+    Mix(("ammp", "eon", "swim", "gap", "gcc", "art", "twolf", "art")),
+)
+
+
+def state_space_size(num_workloads: int = len(ALL_NAMES), num_cores: int = 8) -> int:
+    """Size of the combination space the paper quotes (~14 M):
+    ``C(num_workloads + num_cores - 1, num_cores)``."""
+    return comb(num_workloads + num_cores - 1, num_cores)
+
+
+def random_mixes(
+    count: int,
+    num_cores: int = 8,
+    *,
+    seed: int = 2009,
+    names: tuple[str, ...] = ALL_NAMES,
+) -> list[Mix]:
+    """Draw ``count`` random mixes with repetition (the paper's Monte Carlo
+    methodology, Section IV.A, step 2)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = rng_stream(seed, "mixes", num_cores, names)
+    out = []
+    for _ in range(count):
+        picks = rng.integers(0, len(names), size=num_cores)
+        out.append(Mix(tuple(names[i] for i in picks)))
+    return out

@@ -1,0 +1,130 @@
+"""SPEC CPU2000-like synthetic workload suite (26 benchmarks).
+
+The paper draws its workloads from the 26 SPEC CPU2000 integer and floating
+point benchmarks it could run.  We model each with a :class:`WorkloadSpec`
+whose reuse-pool mixture reproduces the qualitative MSA miss-ratio-curve
+behaviour the paper reports or that is well documented for these benchmarks
+in the utility-based-partitioning literature:
+
+* **sixtrack** — almost all misses removed by ~6 dedicated ways (Fig. 3).
+* **applu** — improves up to ~10 ways, then flat: a large streaming floor.
+* **bzip2** — gradual improvement up to ~45 ways (Fig. 3); modelled with a
+  Zipf-skewed large pool.
+* **mcf / art / swim** — memory-intensive with large footprints and heavy
+  streaming: the classic "cache polluters" that make shared LLCs thrash.
+* **eon / crafty / gzip / galgel** — small working sets, cache-friendly.
+
+Footprints are expressed in ways (lines per set) so the suite scales with
+the machine.  Per-benchmark ``l2_apki`` (L2 references per kilo-instruction),
+``mlp`` and ``nonmem_cpi`` feed the analytic core model; their magnitudes
+follow the usual characterisation of the suite (mcf/art/swim memory bound,
+eon/crafty/sixtrack compute bound).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import ReusePool, WorkloadSpec
+
+_P = ReusePool
+
+
+def _suite() -> dict[str, WorkloadSpec]:
+    # Pool widths are solved for *effective* LRU demand: a stream component
+    # interleaves one-touch lines between pool reuses, pushing the pool
+    # deeper in the stack (self-inflation) — effective footprint is roughly
+    # ``w + stream_weight * (w / pool_weight)``.  Streaming is concentrated
+    # in the handful of genuinely memory-streaming benchmarks (swim, mcf,
+    # applu, art, equake, lucas, wupwise); everyone else carries only a
+    # token stream, so the 128-way budget reallocation dynamics match the
+    # paper's Table III assignments (gcc 2-8, galgel/gap 4-5, eon 3,
+    # art 16, mcf 24, mgrid 40, bzip2 48, facerec/twolf 56, ...).
+    specs = [
+        # --- SPEC CPU2000 integer ------------------------------------------
+        WorkloadSpec("gzip", ( _P(4, 0.95), ), stream_weight=0.05,
+                     l2_apki=8, mlp=1.5, nonmem_cpi=0.45),
+        WorkloadSpec("vpr", ( _P(12, 0.94), ), stream_weight=0.06,
+                     l2_apki=30, mlp=2.5, nonmem_cpi=0.55),
+        WorkloadSpec("gcc", ( _P(2, 0.60), _P(24, 0.32) ), stream_weight=0.08,
+                     l2_apki=25, mlp=2.5, nonmem_cpi=0.50),
+        WorkloadSpec("mcf", ( _P(10, 0.45), ), stream_weight=0.55,
+                     l2_apki=130, mlp=12.0, nonmem_cpi=0.60,
+                     write_fraction=0.25),
+        WorkloadSpec("crafty", ( _P(9, 0.95), ), stream_weight=0.05,
+                     l2_apki=10, mlp=1.5, nonmem_cpi=0.40),
+        WorkloadSpec("parser", ( _P(10, 0.62), _P(30, 0.32) ),
+                     stream_weight=0.06, l2_apki=35, mlp=2.2, nonmem_cpi=0.55),
+        WorkloadSpec("eon", ( _P(3, 0.97), ), stream_weight=0.03,
+                     l2_apki=4, mlp=1.3, nonmem_cpi=0.40),
+        WorkloadSpec("perlbmk", ( _P(6, 0.95), ), stream_weight=0.05,
+                     l2_apki=7, mlp=1.5, nonmem_cpi=0.45),
+        WorkloadSpec("gap", ( _P(4, 0.92), ), stream_weight=0.08,
+                     l2_apki=18, mlp=2.2, nonmem_cpi=0.50),
+        WorkloadSpec("vortex", ( _P(14, 0.94), ), stream_weight=0.06,
+                     l2_apki=25, mlp=2.0, nonmem_cpi=0.50),
+        WorkloadSpec("bzip2", ( _P(42, 0.96, zipf=0.4), ), stream_weight=0.04,
+                     l2_apki=45, mlp=2.5, nonmem_cpi=0.50),
+        WorkloadSpec("twolf", ( _P(46, 0.78, zipf=0.3), _P(6, 0.17) ),
+                     stream_weight=0.05, l2_apki=55, mlp=2.0, nonmem_cpi=0.55),
+        # --- SPEC CPU2000 floating point -----------------------------------
+        WorkloadSpec("wupwise", ( _P(4, 0.70), ), stream_weight=0.30,
+                     l2_apki=25, mlp=4.0, nonmem_cpi=0.45),
+        WorkloadSpec("swim", ( _P(3, 0.25), ), stream_weight=0.75,
+                     l2_apki=120, mlp=12.0, nonmem_cpi=0.50,
+                     write_fraction=0.35),
+        WorkloadSpec("mgrid", ( _P(32, 0.85, zipf=0.2), ), stream_weight=0.15,
+                     l2_apki=55, mlp=5.0, nonmem_cpi=0.50),
+        WorkloadSpec("applu", ( _P(5, 0.55), ), stream_weight=0.45,
+                     l2_apki=55, mlp=5.0, nonmem_cpi=0.50),
+        WorkloadSpec("mesa", ( _P(7, 0.68), _P(16, 0.26) ), stream_weight=0.06,
+                     l2_apki=15, mlp=1.8, nonmem_cpi=0.45),
+        WorkloadSpec("galgel", ( _P(4, 0.92), ), stream_weight=0.08,
+                     l2_apki=14, mlp=2.0, nonmem_cpi=0.50),
+        WorkloadSpec("art", ( _P(12, 0.72), ), stream_weight=0.28,
+                     l2_apki=110, mlp=8.0, nonmem_cpi=0.55,
+                     write_fraction=0.20),
+        WorkloadSpec("equake", ( _P(6, 0.50), _P(6, 0.20) ),
+                     stream_weight=0.30, l2_apki=45, mlp=5.0, nonmem_cpi=0.55),
+        WorkloadSpec("facerec", ( _P(48, 0.94, zipf=0.25), ),
+                     stream_weight=0.06, l2_apki=55, mlp=3.0, nonmem_cpi=0.50),
+        WorkloadSpec("ammp", ( _P(8, 0.58), _P(16, 0.34) ),
+                     stream_weight=0.08, l2_apki=45, mlp=3.0, nonmem_cpi=0.55),
+        WorkloadSpec("lucas", ( _P(4, 0.50), _P(6, 0.20) ),
+                     stream_weight=0.30, l2_apki=50, mlp=4.0, nonmem_cpi=0.50),
+        WorkloadSpec("fma3d", ( _P(6, 0.70), _P(2, 0.22) ),
+                     stream_weight=0.08, l2_apki=30, mlp=3.0, nonmem_cpi=0.55),
+        WorkloadSpec("sixtrack", ( _P(5, 0.97), ), stream_weight=0.03,
+                     l2_apki=10, mlp=1.5, nonmem_cpi=0.40),
+        WorkloadSpec("apsi", ( _P(11, 0.72), _P(20, 0.20) ),
+                     stream_weight=0.08, l2_apki=35, mlp=3.0, nonmem_cpi=0.50),
+    ]
+    return {s.name: s for s in specs}
+
+
+_SUITE = _suite()
+
+#: the 12 integer benchmarks of the modelled suite.
+INTEGER_NAMES = (
+    "gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+    "eon", "perlbmk", "gap", "vortex", "bzip2", "twolf",
+)
+#: the 14 floating point benchmarks of the modelled suite.
+FP_NAMES = (
+    "wupwise", "swim", "mgrid", "applu", "mesa", "galgel", "art",
+    "equake", "facerec", "ammp", "lucas", "fma3d", "sixtrack", "apsi",
+)
+ALL_NAMES = INTEGER_NAMES + FP_NAMES
+
+
+def suite() -> dict[str, WorkloadSpec]:
+    """All 26 SPEC-like workload specs, keyed by benchmark name."""
+    return dict(_SUITE)
+
+
+def get(name: str) -> WorkloadSpec:
+    """Look up one benchmark spec by name."""
+    try:
+        return _SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose one of {sorted(_SUITE)}"
+        ) from None

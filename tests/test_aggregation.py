@@ -1,0 +1,117 @@
+"""Bank-aggregation scheme models (paper Fig. 4 / Section III.B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.aggregation import (
+    SCHEMES,
+    AddressHashAggregation,
+    CascadeAggregation,
+    IdealLRUAggregation,
+    ParallelAggregation,
+    make_aggregation,
+)
+from repro.workloads import generate_trace, get
+
+
+class TestCascade:
+    def test_is_exactly_global_lru(self):
+        """Cascade chains banks head-to-tail: its hits/misses must equal a
+        monolithic (banks*ways)-way LRU on any access sequence."""
+        cascade = CascadeAggregation(4, 2, 8)
+        ideal = IdealLRUAggregation(4, 2, 8)
+        trace = generate_trace(get("vpr"), 5000, 8, seed=1).lines.tolist()
+        for line in trace:
+            assert cascade.access(line) == ideal.access(line)
+        assert cascade.stats.misses == ideal.stats.misses
+
+    def test_migrations_counted_on_deep_hit(self):
+        c = CascadeAggregation(2, 1, 1)  # 2 banks x 1 way, single set
+        c.access(10)
+        c.access(11)  # 10 shifts into bank 1: 1 migration
+        assert c.stats.migrations == 1
+        c.access(10)  # hit in bank 1: promote + demote = 2 moves
+        assert c.stats.migrations == 3
+
+    def test_recency_order_exposed(self):
+        c = CascadeAggregation(2, 2, 1)
+        for line in (1, 2, 3):
+            c.access(line)
+        assert c.recency_order(0) == [3, 2, 1]
+
+
+class TestHashAndParallel:
+    def test_hash_no_migrations(self):
+        h = AddressHashAggregation(4, 2, 8)
+        for line in generate_trace(get("vpr"), 3000, 8, seed=2).lines.tolist():
+            h.access(line)
+        assert h.stats.migrations == 0
+
+    def test_hash_bank_is_stable(self):
+        h = AddressHashAggregation(4, 2, 8)
+        assert h.bank_of(12345) == h.bank_of(12345)
+        assert 0 <= h.bank_of(12345) < 4
+
+    def test_parallel_probes_all_banks(self):
+        p = ParallelAggregation(4, 2, 8)
+        p.access(1)
+        p.access(1)
+        assert p.stats.directory_probes == 8  # 4 banks x 2 accesses
+
+    def test_parallel_any_bank_placement(self):
+        p = ParallelAggregation(4, 1, 1)
+        for line in range(4):
+            p.access(line)
+        # round-robin spread all four lines over the four banks
+        assert all(p.access(line) for line in range(4))
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=150))
+    @settings(max_examples=30)
+    def test_all_schemes_agree_when_single_bank(self, lines):
+        """With one bank, every scheme degenerates to plain LRU."""
+        aggs = [make_aggregation(n, 1, 4, 4) for n in SCHEMES]
+        for line in lines:
+            results = {agg.access(line) for agg in aggs}
+            assert len(results) == 1
+
+
+class TestOrderings:
+    def test_migration_ordering_cascade_worst(self):
+        """The paper's qualitative claim: Cascade migration rate is
+        prohibitive, Hash/Parallel are ~zero."""
+        trace = generate_trace(get("bzip2"), 20_000, 32, seed=3).lines.tolist()
+        rates = {}
+        for name in ("cascade", "hash", "parallel"):
+            agg = make_aggregation(name, 4, 8, 32)
+            for line in trace:
+                agg.access(line)
+            rates[name] = agg.stats.migrations_per_access
+        assert rates["cascade"] > 0.5
+        assert rates["hash"] == 0.0
+        assert rates["parallel"] == 0.0
+
+    def test_fidelity_ordering(self):
+        """Cascade == ideal; Hash/Parallel within a modest degradation."""
+        trace = generate_trace(get("twolf"), 20_000, 32, seed=4).lines.tolist()
+        miss = {}
+        for name in SCHEMES:
+            agg = make_aggregation(name, 4, 8, 32)
+            for line in trace:
+                agg.access(line)
+            miss[name] = agg.stats.miss_rate
+        assert miss["cascade"] == pytest.approx(miss["ideal"])
+        assert miss["hash"] <= miss["ideal"] * 1.35
+        assert miss["parallel"] <= miss["ideal"] * 1.35
+
+
+class TestValidation:
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            make_aggregation("quantum", 2, 2, 2)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CascadeAggregation(0, 2, 2)
+        with pytest.raises(ValueError):
+            CascadeAggregation(2, 2, 3)

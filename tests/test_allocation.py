@@ -1,0 +1,118 @@
+"""Mapping abstract decisions onto physical banks (paper Fig. 5)."""
+
+import pytest
+
+from repro.partitioning.allocation import (
+    assign_center_banks,
+    decision_to_partition_map,
+    vector_to_private_map,
+)
+from repro.partitioning.bank_aware import BankAwareDecision, bank_aware_partition
+from tests.test_partitioning import knee_curve
+
+
+def sample_decision() -> BankAwareDecision:
+    return BankAwareDecision(
+        ways=(16, 24, 8, 8, 12, 4, 8, 48),
+        center_banks=(1, 2, 0, 0, 0, 0, 0, 5),
+        pairs=((4, 5),),
+    )
+
+
+class TestCenterAssignment:
+    def test_every_center_bank_assigned_once(self):
+        chosen = assign_center_banks(sample_decision(), 8, 16)
+        banks = [b for lst in chosen.values() for b in lst]
+        assert sorted(banks) == list(range(8, 16))
+
+    def test_counts_match_decision(self):
+        d = sample_decision()
+        chosen = assign_center_banks(d, 8, 16)
+        for core in range(8):
+            assert len(chosen[core]) == d.center_banks[core]
+
+    def test_proximity_preference(self):
+        """A single center-bank core gets one of the centers nearest it."""
+        d = BankAwareDecision(
+            ways=(16,) + (8,) * 6 + (64,),
+            center_banks=(1,) + (0,) * 6 + (7,),
+            pairs=(),
+        )
+        chosen = assign_center_banks(d, 8, 16)
+        # core 0's nearest centers are the low-numbered ones
+        assert chosen[0][0] in (8, 9, 10)
+
+    def test_count_mismatch_rejected(self):
+        d = BankAwareDecision(
+            ways=(16,) + (8,) * 7, center_banks=(1,) + (0,) * 7, pairs=()
+        )
+        with pytest.raises(ValueError):
+            assign_center_banks(d, 8, 16)
+
+
+class TestDecisionToMap:
+    def test_valid_and_complete(self):
+        pmap = decision_to_partition_map(sample_decision())
+        pmap.validate(16, 8)
+        assert pmap.way_vector() == {
+            0: 16, 1: 24, 2: 8, 3: 8, 4: 12, 5: 4, 6: 8, 7: 48,
+        }
+
+    def test_local_bank_always_included_for_unshrunk_cores(self):
+        pmap = decision_to_partition_map(sample_decision())
+        for core in (0, 1, 2, 3, 6, 7):
+            assert core in pmap[core].banks
+
+    def test_pair_layout(self):
+        """Core 4 (12 ways) keeps its bank whole + annexes the top 4 ways of
+        core 5's bank as level 2; core 5 keeps the low 4 ways of its own."""
+        pmap = decision_to_partition_map(sample_decision())
+        p4, p5 = pmap[4], pmap[5]
+        assert p4.level1[0].bank == 4
+        assert p4.level1[0].num_ways == 8
+        assert p4.level2 is not None
+        assert p4.level2.bank == 5
+        assert p4.level2.ways == (4, 5, 6, 7)
+        assert p5.level1[0].bank == 5
+        assert p5.level1[0].ways == (0, 1, 2, 3)
+        assert p5.level2 is None
+
+    def test_even_pair_split_means_no_sharing(self):
+        d = BankAwareDecision(
+            ways=(8, 8) + (8,) * 4 + (40, 40),
+            center_banks=(0, 0, 0, 0, 0, 0, 4, 4),
+            pairs=((0, 1),),
+        )
+        pmap = decision_to_partition_map(d)
+        assert pmap[0].level2 is None
+        assert pmap[1].level2 is None
+
+    def test_real_decisions_map_cleanly(self):
+        curves = [knee_curve(k) for k in (45, 3, 12, 4, 60, 6, 25, 10)]
+        decision = bank_aware_partition(curves)
+        pmap = decision_to_partition_map(decision)
+        pmap.validate(16, 8)
+        assert sum(pmap.way_vector().values()) == 128
+
+
+class TestPrivateVectorMap:
+    def test_contiguous_layout(self):
+        ways = [16] * 8
+        pmap = vector_to_private_map(ways, num_banks=16, bank_ways=8)
+        pmap.validate(16, 8)
+        assert pmap[0].banks == (0, 1)
+        assert pmap[7].banks == (14, 15)
+
+    def test_straddling_fractions(self):
+        ways = [12, 4, 16, 16, 16, 16, 16, 32]
+        pmap = vector_to_private_map(ways, num_banks=16, bank_ways=8)
+        pmap.validate(16, 8)
+        assert pmap.way_vector() == {i: w for i, w in enumerate(ways)}
+
+    def test_wrong_total_rejected(self):
+        with pytest.raises(ValueError):
+            vector_to_private_map([8] * 8, num_banks=16, bank_ways=8)
+
+    def test_zero_way_core_rejected(self):
+        with pytest.raises(ValueError):
+            vector_to_private_map([0, 128] + [0] * 6, num_banks=16, bank_ways=8)

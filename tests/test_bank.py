@@ -1,0 +1,105 @@
+"""Bank-level vertical way partitioning and statistics."""
+
+import pytest
+
+from repro.cache.bank import CacheBank
+
+
+def make_bank(sets=8, ways=4):
+    return CacheBank(0, sets, ways)
+
+
+class TestPartitionState:
+    def test_share_all_allows_everyone(self):
+        b = make_bank()
+        assert b.candidates_for(3) == (0, 1, 2, 3)
+
+    def test_assign_ways_by_count(self):
+        b = make_bank()
+        b.assign_ways({0: 3, 1: 1})
+        assert b.candidates_for(0) == (0, 1, 2)
+        assert b.candidates_for(1) == (3,)
+        assert b.ways_owned_by(0) == 3
+
+    def test_assign_ways_must_sum_to_associativity(self):
+        b = make_bank()
+        with pytest.raises(ValueError):
+            b.assign_ways({0: 2, 1: 1})
+        with pytest.raises(ValueError):
+            b.assign_ways({0: 5, 1: -1})
+
+    def test_set_way_owners_shared_way(self):
+        b = make_bank()
+        b.set_way_owners(
+            [frozenset((0,)), frozenset((0, 1)), frozenset((1,)), frozenset()]
+        )
+        assert b.candidates_for(0) == (0, 1)
+        assert b.candidates_for(1) == (1, 2)
+        assert b.candidates_for(9) == ()
+
+    def test_owner_list_length_checked(self):
+        with pytest.raises(ValueError):
+            make_bank().set_way_owners([None])
+
+    def test_candidates_cache_invalidated_on_repartition(self):
+        b = make_bank()
+        assert b.candidates_for(0) == (0, 1, 2, 3)
+        b.assign_ways({0: 1, 1: 3})
+        assert b.candidates_for(0) == (0,)
+
+
+class TestAccessPath:
+    def test_fill_requires_owned_ways(self):
+        b = make_bank()
+        b.assign_ways({0: 4, 1: 0})
+        with pytest.raises(PermissionError):
+            b.fill(1, 123)
+
+    def test_set_index_low_bits(self):
+        b = make_bank(sets=8)
+        assert b.set_index(0b10101) == 0b101
+
+    def test_access_records_stats(self):
+        b = make_bank()
+        assert not b.access(0, 42)
+        b.fill(0, 42)
+        assert b.access(0, 42)
+        assert b.stats.hits[0] == 1
+        assert b.stats.misses[0] == 1
+        assert b.stats.total_hits() == 1
+
+    def test_isolation_between_cores(self):
+        """A core thrashing its own ways never evicts the other core's."""
+        b = make_bank(sets=1, ways=4)
+        b.assign_ways({0: 2, 1: 2})
+        b.fill(0, 8 * 1)
+        b.fill(0, 8 * 2)
+        for i in range(3, 30):
+            b.fill(1, 8 * i)  # line numbers with same set index 0
+        assert b.probe(8 * 1) and b.probe(8 * 2)
+
+    def test_eviction_and_writeback_counters(self):
+        b = make_bank(sets=1, ways=1)
+        b.fill(0, 0, dirty=True)
+        ev = b.fill(0, 8)
+        assert ev is not None and ev.dirty
+        assert b.stats.evictions == 1
+        assert b.stats.writebacks == 1
+
+    def test_occupancy_and_residents(self):
+        b = make_bank(sets=4, ways=2)
+        for line in (0, 1, 2):
+            b.fill(0, line)
+        assert b.occupancy() == 3
+        assert sorted(b.resident_lines()) == [0, 1, 2]
+
+    def test_invalidate(self):
+        b = make_bank()
+        b.fill(0, 5)
+        assert b.invalidate(5) is not None
+        assert b.invalidate(5) is None
+        assert b.occupancy() == 0
+
+    def test_non_pow2_sets_rejected(self):
+        with pytest.raises(ValueError):
+            CacheBank(0, 6, 4)

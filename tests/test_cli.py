@@ -1,0 +1,110 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+
+class TestCommands:
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "bzip2" in out and "mcf" in out
+        assert out.count("\n") >= 26
+
+    def test_machine_scaled(self, capsys):
+        assert main(["machine", "--scale", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "2 MB" in out
+
+    def test_profile(self, capsys):
+        assert main(
+            ["profile", "sixtrack", "--ways", "4,8", "--scale", "32",
+             "--accesses", "8000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sixtrack" in out
+
+    def test_profile_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "doom3"])
+
+    def test_partition_with_set(self, capsys):
+        assert main(
+            ["partition", "--set", "1", "--scale", "32", "--accesses", "8000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Bank-aware assignment" in out
+        assert "apsi" in out
+
+    def test_partition_explicit_names_and_unrestricted(self, capsys):
+        names = ["gzip", "eon", "crafty", "gap", "galgel", "perlbmk",
+                 "sixtrack", "vpr"]
+        assert main(
+            ["partition", *names, "--scale", "32", "--accesses", "8000",
+             "--unrestricted"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Unrestricted (UCP) assignment" in out
+
+    def test_partition_needs_mix(self):
+        with pytest.raises(SystemExit):
+            main(["partition", "--scale", "32"])
+
+    def test_partition_bad_set(self):
+        with pytest.raises(SystemExit):
+            main(["partition", "--set", "99"])
+
+    def test_partition_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["partition"] + ["doom3"] * 8)
+
+    def test_simulate(self, capsys):
+        assert main(
+            ["simulate", "--set", "2", "--scale", "32",
+             "--duration", "300000", "--scheme", "equal-partitions"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "equal-partitions" in out
+        assert "overall miss rate" in out
+
+    def test_compare(self, capsys):
+        assert main(
+            ["compare", "--set", "1", "--scale", "32", "--duration", "300000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no-partitions" in out and "bank-aware" in out
+
+
+class TestCurveCaching:
+    def test_profile_save_then_partition_load(self, tmp_path, capsys):
+        path = str(tmp_path / "curves.npz")
+        names = ["gzip", "eon", "crafty", "gap", "galgel", "perlbmk",
+                 "sixtrack", "vpr"]
+        assert main(
+            ["profile", *sorted(set(names)), "--scale", "32",
+             "--accesses", "6000", "--save", path]
+        ) == 0
+        assert "saved" in capsys.readouterr().out
+        assert main(
+            ["partition", *names, "--curves", path, "--scale", "32"]
+        ) == 0
+        assert "Bank-aware assignment" in capsys.readouterr().out
+
+    def test_partition_missing_curves_rejected(self, tmp_path):
+        from repro.profiling import save_curves
+
+        path = str(tmp_path / "partial.npz")
+        save_curves(path, {})
+        with pytest.raises(SystemExit, match="lacks"):
+            main(["partition", "--set", "1", "--curves", path, "--scale", "32"])

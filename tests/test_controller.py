@@ -1,0 +1,101 @@
+"""Epoch-based dynamic repartitioning controller."""
+
+import pytest
+
+from repro.cache.nuca import NucaL2
+from repro.config import L2Config
+from repro.profiling.msa import MSAProfiler
+from repro.sim.controller import EpochController
+from repro.workloads import generate_trace, get
+
+CFG = L2Config(num_banks=16, bank_ways=8, sets_per_bank=64)
+
+
+def make_controller(epoch=1000.0, min_obs=10, decay=0.5):
+    l2 = NucaL2(CFG, 8)
+    profilers = [MSAProfiler(CFG.sets_per_bank, 72) for _ in range(8)]
+    names = ["w%d" % i for i in range(8)]
+    return (
+        EpochController(
+            l2,
+            profilers,
+            names,
+            epoch_cycles=epoch,
+            max_ways_per_core=72,
+            decay=decay,
+            min_observations=min_obs,
+        ),
+        l2,
+        profilers,
+    )
+
+
+def feed(profilers, accesses=400):
+    for i, prof in enumerate(profilers):
+        trace = generate_trace(
+            get("vpr" if i % 2 else "gzip"), accesses, CFG.sets_per_bank, seed=i
+        )
+        prof.observe_many(trace.lines)
+
+
+class TestScheduling:
+    def test_not_due_before_epoch(self):
+        ctrl, _, _ = make_controller(epoch=1000.0)
+        assert not ctrl.due(999.0)
+        assert ctrl.due(1000.0)
+
+    def test_tick_advances_next_epoch(self):
+        ctrl, _, profs = make_controller()
+        feed(profs)
+        assert ctrl.tick(1000.0)
+        assert not ctrl.due(1500.0)
+        assert ctrl.due(2000.0)
+
+    def test_skipped_epochs_caught_up(self):
+        ctrl, _, profs = make_controller()
+        feed(profs)
+        ctrl.tick(5500.0)  # jumped over several boundaries
+        assert not ctrl.due(5900.0)
+        assert ctrl.due(6000.0)
+
+    def test_insufficient_observations_defers(self):
+        ctrl, l2, _ = make_controller(min_obs=10_000)
+        assert not ctrl.tick(1000.0)
+        assert l2.mode == "shared"  # nothing installed
+        assert ctrl.history == []
+
+
+class TestDecisions:
+    def test_partition_installed(self):
+        ctrl, l2, profs = make_controller()
+        feed(profs)
+        assert ctrl.tick(1000.0)
+        assert l2.mode == "partitioned"
+        assert sum(ctrl.last_decision.ways) == 128
+
+    def test_decay_applied_after_decision(self):
+        ctrl, _, profs = make_controller(decay=0.5)
+        feed(profs, accesses=100)
+        before = profs[0].total_accesses
+        ctrl.tick(1000.0)
+        assert profs[0].total_accesses == pytest.approx(before * 0.5)
+
+    def test_history_grows(self):
+        ctrl, _, profs = make_controller()
+        feed(profs)
+        ctrl.tick(1000.0)
+        feed(profs)
+        ctrl.tick(2000.0)
+        assert len(ctrl.history) == 2
+
+    def test_bad_parameters(self):
+        l2 = NucaL2(CFG, 8)
+        profs = [MSAProfiler(CFG.sets_per_bank, 72)] * 8
+        with pytest.raises(ValueError):
+            EpochController(l2, profs, ["x"] * 8, epoch_cycles=0, max_ways_per_core=72)
+        with pytest.raises(ValueError):
+            EpochController(
+                l2, profs, ["x"] * 8, epoch_cycles=10, max_ways_per_core=72, decay=2.0
+            )
+        with pytest.raises(ValueError):
+            EpochController(l2, profs, ["x"] * 7, epoch_cycles=10, max_ways_per_core=72)

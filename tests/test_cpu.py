@@ -1,0 +1,51 @@
+"""Analytic core timing model."""
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.cpu.core import CoreTimer
+
+
+class TestCoreTimer:
+    def test_compute_advance(self):
+        t = CoreTimer(0, nonmem_cpi=0.5, mlp=1.0)
+        arrival = t.advance_compute(100)
+        assert arrival == pytest.approx(50.0)
+        assert t.instructions == 101  # gap + the memory op itself
+
+    def test_memory_latency_overlapped_by_mlp(self):
+        t = CoreTimer(0, nonmem_cpi=0.5, mlp=4.0)
+        t.complete_access(400.0)
+        assert t.time == pytest.approx(100.0)
+        assert t.mem_stall == pytest.approx(100.0)
+        assert t.accesses == 1
+
+    def test_mlp_capped_by_outstanding_requests(self):
+        cfg = CoreConfig(max_outstanding=4)
+        t = CoreTimer(0, cfg, mlp=100.0)
+        assert t.mlp == 4.0
+
+    def test_mlp_floor_of_one(self):
+        t = CoreTimer(0, mlp=0.1)
+        assert t.mlp == 1.0
+
+    def test_cpi(self):
+        t = CoreTimer(0, nonmem_cpi=1.0, mlp=1.0)
+        t.advance_compute(99)  # 100 instructions, 99 cycles
+        t.complete_access(1.0)
+        assert t.cpi == pytest.approx(1.0)
+
+    def test_snapshot_delta(self):
+        t = CoreTimer(0, nonmem_cpi=1.0, mlp=1.0)
+        t.advance_compute(9)
+        snap = t.snapshot()
+        t.advance_compute(9)
+        t.complete_access(10.0)
+        assert t.delta_cpi(snap) == pytest.approx((9 + 10) / 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreTimer(0, nonmem_cpi=0.0)
+        t = CoreTimer(0)
+        with pytest.raises(ValueError):
+            t.complete_access(-1.0)

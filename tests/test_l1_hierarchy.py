@@ -1,0 +1,86 @@
+"""L1 cache and the composed cache hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.l1 import L1Cache
+from repro.config import L1Config, scaled_config
+
+
+class TestL1:
+    def test_geometry_from_config(self):
+        l1 = L1Cache()
+        assert l1.num_sets == 512
+        assert l1.ways == 2
+
+    def test_miss_allocates(self):
+        l1 = L1Cache(L1Config(size_bytes=1024, ways=2))
+        hit, ev = l1.access(5)
+        assert not hit and ev is None
+        hit, _ = l1.access(5)
+        assert hit
+
+    def test_dirty_writeback_on_eviction(self):
+        l1 = L1Cache(L1Config(size_bytes=128, ways=1))  # 2 sets
+        l1.access(0, is_write=True)
+        _, ev = l1.access(2)  # same set 0, evicts line 0
+        assert ev is not None and ev.dirty
+        assert l1.stats.writebacks == 1
+
+    def test_stats(self):
+        l1 = L1Cache(L1Config(size_bytes=1024, ways=2))
+        l1.access(1)
+        l1.access(1)
+        l1.access(2)
+        assert l1.stats.accesses == 3
+        assert l1.stats.hits == 1
+        assert l1.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_invalidate(self):
+        l1 = L1Cache(L1Config(size_bytes=1024, ways=2))
+        l1.access(9, is_write=True)
+        ev = l1.invalidate(9)
+        assert ev is not None and ev.dirty
+        assert not l1.contains(9)
+
+
+class TestHierarchy:
+    def make(self):
+        cfg = scaled_config(8)
+        return CacheHierarchy(cfg)
+
+    def test_l1_filters_l2(self):
+        h = self.make()
+        assert h.access(0, 0x1000).level == "memory"
+        assert h.access(0, 0x1000).level == "l1"
+        assert h.l2.stats.core_accesses(0) == 1  # second access never left L1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = self.make()
+        h.access(0, 0)
+        # walk far past L1 capacity (1024 lines) within the same L1 set
+        for i in range(1, 4):
+            h.access(0, i * h.l1s[0].num_sets * 64)
+        r = h.access(0, 0)
+        assert r.level == "l2"
+
+    def test_core_bounds_checked(self):
+        h = self.make()
+        with pytest.raises(IndexError):
+            h.access(99, 0)
+
+    def test_dirty_l1_victim_updates_l2(self):
+        h = self.make()
+        h.access(0, 0, is_write=True)
+        stride = h.l1s[0].num_sets * 64
+        h.access(0, stride)
+        h.access(0, 2 * stride)  # evicts dirty line 0 from 2-way L1 set
+        bank = h.l2.bank_of(0)
+        assert bank is not None  # written back into the L2
+
+    def test_per_core_l1s_independent(self):
+        h = self.make()
+        h.access(0, 0x2000)
+        assert h.access(1, 0x2000 + (1 << 40)).level == "memory"
+        assert h.l1s[0].stats.accesses == 1
+        assert h.l1s[1].stats.accesses == 1

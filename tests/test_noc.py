@@ -1,0 +1,129 @@
+"""NoC floorplan, DNUCA latency model and bank contention."""
+
+import pytest
+
+from repro.config import L2Config
+from repro.noc.contention import BankPort, ContentionModel
+from repro.noc.latency import LatencyModel
+from repro.noc.topology import Floorplan
+
+
+class TestFloorplan:
+    def test_local_center_split(self):
+        fp = Floorplan()
+        assert fp.num_centers == 8
+        assert fp.is_local(0) and fp.is_local(7)
+        assert not fp.is_local(8)
+
+    def test_local_bank_of(self):
+        fp = Floorplan()
+        for core in range(8):
+            assert fp.local_bank_of(core) == core
+            assert fp.hops(core, core) == 0.0
+
+    def test_max_hops_is_7(self):
+        assert Floorplan().max_hops() == 7.0
+        assert Floorplan().hops(0, 7) == 7.0
+
+    def test_center_banks_cost_row_crossing(self):
+        fp = Floorplan()
+        for bank in range(8, 16):
+            for core in range(8):
+                assert fp.hops(core, bank) >= 1.0
+
+    def test_center_variation_smaller_than_local(self):
+        """Paper: Center banks have higher average latency than the own
+        Local bank but much smaller variation across cores."""
+        fp = Floorplan()
+        local_spread = [
+            max(fp.hops(c, b) for c in range(8)) - min(fp.hops(c, b) for c in range(8))
+            for b in range(8)
+        ]
+        center_spread = [
+            max(fp.hops(c, b) for c in range(8)) - min(fp.hops(c, b) for c in range(8))
+            for b in range(8, 16)
+        ]
+        assert max(center_spread) < max(local_spread)
+
+    def test_bounds_checked(self):
+        fp = Floorplan()
+        with pytest.raises(IndexError):
+            fp.hops(8, 0)
+        with pytest.raises(IndexError):
+            fp.hops(0, 16)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Floorplan(num_cores=8, num_banks=4)
+
+
+class TestLatencyModel:
+    def test_paper_bounds_10_to_70(self):
+        lm = LatencyModel()
+        table = lm.latency_table()
+        flat = [v for row in table for v in row]
+        assert min(flat) == 10
+        assert max(flat) == 70
+
+    def test_own_local_bank_is_10(self):
+        lm = LatencyModel()
+        for core in range(8):
+            assert lm.bank_latency(core, core) == 10
+
+    def test_far_local_bank_is_70(self):
+        lm = LatencyModel()
+        assert lm.bank_latency(0, 7) == 70
+        assert lm.bank_latency(7, 0) == 70
+
+    def test_monotonic_in_distance(self):
+        lm = LatencyModel()
+        lats = [lm.bank_latency(0, b) for b in range(8)]
+        assert lats == sorted(lats)
+
+    def test_from_config(self):
+        lm = LatencyModel.from_config(L2Config(), num_cores=8)
+        assert lm.min_latency == 10 and lm.max_latency == 70
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(min_latency=50, max_latency=40)
+
+
+class TestContention:
+    def test_idle_port_no_delay(self):
+        port = BankPort(busy_cycles=4)
+        assert port.request(100.0) == 0.0
+
+    def test_back_to_back_queues(self):
+        port = BankPort(busy_cycles=4)
+        port.request(100.0)
+        assert port.request(101.0) == 3.0  # busy until 104
+        assert port.request(101.0) == 7.0  # now busy until 108
+
+    def test_gap_clears_queue(self):
+        port = BankPort(busy_cycles=4)
+        port.request(0.0)
+        assert port.request(50.0) == 0.0
+
+    def test_mean_queue_delay(self):
+        port = BankPort(busy_cycles=10)
+        port.request(0.0)
+        port.request(0.0)
+        assert port.mean_queue_delay == pytest.approx(5.0)
+
+    def test_model_reset(self):
+        m = ContentionModel(4)
+        m.bank_delay(0, 0.0)
+        m.memory_delay(0.0)
+        m.reset()
+        assert m.ports[0].served == 0
+        assert m.memory_port.next_free == 0.0
+
+    def test_memory_bandwidth_throttles(self):
+        m = ContentionModel(4, memory_busy_cycles=4)
+        delays = [m.memory_delay(0.0) for _ in range(10)]
+        assert delays == [i * 4.0 for i in range(10)]
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            ContentionModel(0)

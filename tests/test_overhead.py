@@ -1,0 +1,56 @@
+"""Table II hardware overhead model — the paper's exact numbers."""
+
+import pytest
+
+from repro.config import ProfilerConfig, SystemConfig
+from repro.profiling.overhead import profiler_overhead, system_overhead_fraction
+
+
+class TestPaperNumbers:
+    def test_partial_tags_54_kbit(self):
+        """12 bits x 72 ways x 64 sampled sets = 54 kbit."""
+        assert profiler_overhead().partial_tag_bits == 54 * 1024
+
+    def test_lru_stack_27_kbit(self):
+        """6-bit pointers x 72 ways x 64 sampled sets = 27 kbit."""
+        assert profiler_overhead().lru_stack_bits == 27 * 1024
+
+    def test_hit_counters_2_25_kbit(self):
+        """72 counters x 32 bits = 2.25 kbit."""
+        assert profiler_overhead().hit_counter_bits == 2304
+
+    def test_total_83_25_kbit(self):
+        assert profiler_overhead().total_kbits == pytest.approx(83.25)
+
+    def test_head_tail_option(self):
+        with_ht = profiler_overhead(head_tail_bits=12)
+        assert with_ht.lru_stack_bits == (6 * 72 + 12) * 64
+
+    def test_rows_in_table_order(self):
+        rows = profiler_overhead().as_rows()
+        assert [r[0] for r in rows] == [
+            "Partial Tags",
+            "LRU Stack Distance Implem.",
+            "Hit Counters",
+        ]
+        assert [round(r[1], 2) for r in rows] == [54.0, 27.0, 2.25]
+
+
+class TestSystemFraction:
+    def test_headline_fraction_below_1_percent(self):
+        """Paper claims ~0.4 % of the 16 MB L2 for all 8 profilers; the
+        exact arithmetic of Table II gives ~0.5 % of the data capacity."""
+        frac = system_overhead_fraction()
+        assert 0.003 < frac < 0.006
+
+    def test_scales_with_sampling(self):
+        dense = SystemConfig(
+            profiler=ProfilerConfig(set_sampling=1)
+        ).validate()
+        assert system_overhead_fraction(dense) > system_overhead_fraction()
+
+
+class TestValidation:
+    def test_sampling_cannot_exceed_sets(self):
+        with pytest.raises(ValueError):
+            profiler_overhead(num_sets=16, profiler=ProfilerConfig(set_sampling=32))

@@ -1,0 +1,117 @@
+"""Physical partition descriptions and their global validation."""
+
+import pytest
+
+from repro.cache.bank import CacheBank
+from repro.cache.partition_map import (
+    BankAllocation,
+    CorePartition,
+    PartitionMap,
+    equal_partition_map,
+)
+
+
+class TestBankAllocation:
+    def test_ways_sorted_and_unique(self):
+        a = BankAllocation(3, (2, 0, 1))
+        assert a.ways == (0, 1, 2)
+        assert a.num_ways == 3
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            BankAllocation(0, (1, 1))
+        with pytest.raises(ValueError):
+            BankAllocation(0, ())
+        with pytest.raises(ValueError):
+            BankAllocation(0, (-1,))
+
+
+class TestCorePartition:
+    def test_total_ways(self):
+        p = CorePartition(
+            0,
+            (BankAllocation(0, (0, 1)), BankAllocation(1, tuple(range(8)))),
+            level2=BankAllocation(2, (4, 5)),
+        )
+        assert p.total_ways == 12
+        assert p.banks == (0, 1, 2)
+        assert len(p.allocations()) == 3
+
+    def test_duplicate_bank_rejected(self):
+        with pytest.raises(ValueError):
+            CorePartition(
+                0,
+                (BankAllocation(1, (0,)),),
+                level2=BankAllocation(1, (1,)),
+            )
+
+    def test_needs_level1(self):
+        with pytest.raises(ValueError):
+            CorePartition(0, ())
+
+
+class TestPartitionMap:
+    def test_duplicate_core_rejected(self):
+        pm = PartitionMap()
+        pm.add(CorePartition(0, (BankAllocation(0, (0,)),)))
+        with pytest.raises(ValueError):
+            pm.add(CorePartition(0, (BankAllocation(1, (0,)),)))
+
+    def test_validate_catches_double_claim(self):
+        pm = PartitionMap()
+        pm.add(CorePartition(0, (BankAllocation(0, (0, 1)),)))
+        pm.add(CorePartition(1, (BankAllocation(0, (1, 2)),)))
+        with pytest.raises(ValueError, match="claimed"):
+            pm.validate(num_banks=2, bank_ways=4)
+
+    def test_validate_catches_out_of_range(self):
+        pm = PartitionMap()
+        pm.add(CorePartition(0, (BankAllocation(5, (0,)),)))
+        with pytest.raises(ValueError):
+            pm.validate(num_banks=2, bank_ways=4)
+        pm2 = PartitionMap()
+        pm2.add(CorePartition(0, (BankAllocation(0, (9,)),)))
+        with pytest.raises(ValueError):
+            pm2.validate(num_banks=2, bank_ways=4)
+
+    def test_way_vector(self):
+        pm = equal_partition_map(8, 16, 8)
+        assert pm.way_vector() == {c: 16 for c in range(8)}
+
+    def test_install_programs_banks(self):
+        pm = PartitionMap()
+        pm.add(CorePartition(0, (BankAllocation(0, (0, 1)),)))
+        pm.add(CorePartition(1, (BankAllocation(0, (2, 3)),)))
+        banks = [CacheBank(0, 4, 4)]
+        pm.install(banks)
+        assert banks[0].candidates_for(0) == (0, 1)
+        assert banks[0].candidates_for(1) == (2, 3)
+
+    def test_install_unclaimed_ways_are_locked(self):
+        pm = PartitionMap()
+        pm.add(CorePartition(0, (BankAllocation(0, (0,)),)))
+        banks = [CacheBank(0, 4, 2)]
+        pm.install(banks)
+        assert banks[0].candidates_for(1) == ()
+
+
+class TestEqualPartitionMap:
+    def test_paper_shape(self):
+        """Each core gets its Local bank plus one Center bank (2 MB)."""
+        pm = equal_partition_map(8, 16, 8)
+        pm.validate(16, 8)
+        for core in range(8):
+            part = pm[core]
+            assert part.total_ways == 16
+            assert core in part.banks  # its Local bank
+            assert len(part.level1) == 2
+            assert part.level2 is None
+
+    def test_all_banks_covered_once(self):
+        pm = equal_partition_map(8, 16, 8)
+        banks = [b for c in range(8) for b in pm[c].banks]
+        assert sorted(banks) == list(range(16))
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError):
+            equal_partition_map(3, 16, 8)

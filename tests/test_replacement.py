@@ -1,0 +1,115 @@
+"""Replacement policies: LRU semantics, PLRU, random, candidate masking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        p = LRUPolicy(4)
+        for w in (0, 1, 2, 3, 1, 0):
+            p.touch(w)
+        assert p.victim(range(4)) == 2
+
+    def test_untouched_preferred(self):
+        p = LRUPolicy(4)
+        p.touch(0)
+        p.touch(1)
+        assert p.victim(range(4)) in (2, 3)
+
+    def test_candidates_restrict_choice(self):
+        p = LRUPolicy(4)
+        for w in (3, 2, 1, 0):
+            p.touch(w)
+        # way 3 is globally LRU but only 0 and 1 are candidates
+        assert p.victim((0, 1)) == 1
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(4).victim(())
+
+    def test_out_of_range_way(self):
+        p = LRUPolicy(2)
+        with pytest.raises(IndexError):
+            p.touch(2)
+        with pytest.raises(IndexError):
+            p.victim((5,))
+
+    def test_recency_order(self):
+        p = LRUPolicy(3)
+        for w in (2, 0, 1):
+            p.touch(w)
+        assert p.recency_order() == [1, 0, 2]
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_matches_reference_model(self, touches):
+        """LRU victim == the way whose last touch is oldest (reference)."""
+        p = LRUPolicy(8)
+        last = {w: -1 for w in range(8)}
+        for i, w in enumerate(touches):
+            p.touch(w)
+            last[w] = i
+        assert p.victim(range(8)) == min(range(8), key=lambda w: last[w])
+
+
+class TestTreePLRU:
+    def test_requires_pow2(self):
+        with pytest.raises(ValueError):
+            TreePLRUPolicy(6)
+
+    def test_never_evicts_most_recent(self):
+        p = TreePLRUPolicy(8)
+        for w in (0, 3, 5, 7, 2):
+            p.touch(w)
+        assert p.victim(range(8)) != 2
+
+    def test_victim_respects_candidates(self):
+        p = TreePLRUPolicy(4)
+        for w in (0, 1, 2, 3):
+            p.touch(w)
+        assert p.victim((1, 2)) in (1, 2)
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=40))
+    def test_victim_always_valid(self, touches):
+        p = TreePLRUPolicy(4)
+        for w in touches:
+            p.touch(w)
+        assert 0 <= p.victim(range(4)) < 4
+
+    def test_single_way(self):
+        p = TreePLRUPolicy(1)
+        p.touch(0)
+        assert p.victim((0,)) == 0
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self):
+        a = RandomPolicy(8, seed=1)
+        b = RandomPolicy(8, seed=1)
+        picks_a = [a.victim(range(8)) for _ in range(20)]
+        picks_b = [b.victim(range(8)) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_respects_candidates(self):
+        p = RandomPolicy(8, seed=2)
+        for _ in range(50):
+            assert p.victim((2, 5)) in (2, 5)
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_policy("lru", 4), LRUPolicy)
+        assert isinstance(make_policy("plru", 4), TreePLRUPolicy)
+        assert isinstance(make_policy("random", 4), RandomPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_policy("mru", 4)

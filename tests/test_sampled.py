@@ -1,0 +1,115 @@
+"""Hardware MSA profiler: set sampling, partial tags, capacity cap."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.msa import MSAProfiler
+from repro.profiling.sampled import SampledMSAProfiler, profile_error
+from repro.workloads import generate_trace, get
+
+NSETS = 256
+
+
+class TestSampling:
+    def test_only_sampled_sets_observed(self):
+        p = SampledMSAProfiler(8, 4, set_sampling=4)
+        assert p.observe(0) is not None  # set 0 sampled (offset 0)
+        assert p.observe(1) is None
+        assert p.observe(4) is not None
+        assert p.observed == 2
+
+    def test_sample_offset(self):
+        p = SampledMSAProfiler(8, 4, set_sampling=4, sample_offset=1)
+        assert p.observe(0) is None
+        assert p.observe(1) is not None
+
+    def test_histogram_scaled_by_ratio(self):
+        p = SampledMSAProfiler(8, 4, set_sampling=4)
+        p.observe(0)
+        assert p.total_accesses == pytest.approx(4.0)
+        assert p.raw_histogram.sum() == pytest.approx(1.0)
+
+    def test_sampling_one_equals_exact(self):
+        """With every set sampled and wide-enough tags the HW profiler is
+        bit-identical to the exact one."""
+        trace = generate_trace(get("vortex"), 20_000, NSETS, seed=2)
+        exact = MSAProfiler(NSETS, 32)
+        hw = SampledMSAProfiler(NSETS, 32, set_sampling=1, partial_tag_bits=40)
+        exact.observe_many(trace.lines)
+        hw.observe_many(trace.lines)
+        assert np.allclose(exact.histogram, hw.histogram)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SampledMSAProfiler(8, 4, set_sampling=3)
+        with pytest.raises(ValueError):
+            SampledMSAProfiler(8, 4, set_sampling=16)
+        with pytest.raises(ValueError):
+            SampledMSAProfiler(8, 4, sample_offset=9)
+        with pytest.raises(ValueError):
+            SampledMSAProfiler(8, 4, partial_tag_bits=0)
+        with pytest.raises(ValueError):
+            SampledMSAProfiler(8, 4, tag_mode="banana")
+
+
+class TestPartialTags:
+    def test_truncate_mode_default(self):
+        p = SampledMSAProfiler(8, 4, set_sampling=1, partial_tag_bits=12)
+        assert p.tag_mode == "truncate"
+        assert p.partial_tag(0b1_000) == 1  # line 8: set 0, tag 1
+        assert p.partial_tag((4096 + 3) << 3) == 3  # truncates high bits
+
+    def test_fold_mode_in_range(self):
+        p = SampledMSAProfiler(
+            8, 4, set_sampling=1, partial_tag_bits=12, tag_mode="fold"
+        )
+        for line in (0, 57, 123456, 2**40):
+            assert 0 <= p.partial_tag(line) < 4096
+
+    def test_aliasing_exists_with_tiny_tags(self):
+        """1-bit tags must alias massively and overestimate hits."""
+        trace = generate_trace(get("vortex"), 20_000, NSETS, seed=2)
+        exact = MSAProfiler(NSETS, 32)
+        tiny = SampledMSAProfiler(NSETS, 32, set_sampling=1, partial_tag_bits=1)
+        exact.observe_many(trace.lines)
+        tiny.observe_many(trace.lines)
+        assert tiny.miss_counts()[32] < exact.miss_counts()[32]
+
+
+class TestPaperAccuracyClaim:
+    @pytest.mark.parametrize("name", ["bzip2", "twolf", "mcf", "vpr"])
+    def test_12bit_1in32_within_5_percent(self, name):
+        """Paper Section III.A: 12-bit partial tags + 1-in-32 sampling stay
+        within 5 % of the full-tag profile."""
+        trace = generate_trace(get(name), 40_000, NSETS, seed=3)
+        exact = MSAProfiler(NSETS, 72)
+        hw = SampledMSAProfiler(
+            NSETS, 72, set_sampling=32, partial_tag_bits=12
+        )
+        exact.observe_many(trace.lines)
+        hw.observe_many(trace.lines)
+        assert profile_error(exact, hw) < 0.05
+
+
+class TestEpochManagement:
+    def test_reset_and_decay(self):
+        p = SampledMSAProfiler(8, 4, set_sampling=1)
+        for _ in range(4):
+            p.observe(0)
+        p.decay(0.5)
+        assert p.total_accesses == pytest.approx(2.0)
+        p.reset()
+        assert p.total_accesses == 0.0
+        with pytest.raises(ValueError):
+            p.decay(-0.1)
+
+    def test_miss_counts_monotonic(self):
+        p = SampledMSAProfiler(NSETS, 16, set_sampling=4)
+        trace = generate_trace(get("gcc"), 10_000, NSETS, seed=4)
+        p.observe_many(trace.lines)
+        assert np.all(np.diff(p.miss_counts()) <= 1e-9)
+
+    def test_misses_at_bounds(self):
+        p = SampledMSAProfiler(8, 4, set_sampling=1)
+        with pytest.raises(ValueError):
+            p.misses_at(5)

@@ -1,0 +1,66 @@
+"""Result containers: CoreResult/SystemResult aggregate arithmetic."""
+
+import pytest
+
+from repro.sim.stats import CoreResult, EpochRecord, SystemResult
+
+
+def core(idx=0, instructions=1000, cycles=2000.0, accesses=100, misses=25):
+    return CoreResult(idx, f"w{idx}", instructions, cycles, accesses, misses)
+
+
+class TestCoreResult:
+    def test_cpi(self):
+        assert core().cpi == pytest.approx(2.0)
+
+    def test_miss_rate(self):
+        assert core().miss_rate == pytest.approx(0.25)
+
+    def test_mpki(self):
+        assert core().mpki == pytest.approx(25.0)
+
+    def test_zero_division_guards(self):
+        c = CoreResult(0, "idle", 0, 0.0, 0, 0)
+        assert c.cpi == 0.0
+        assert c.miss_rate == 0.0
+        assert c.mpki == 0.0
+
+
+class TestSystemResult:
+    def make(self):
+        r = SystemResult("bank-aware")
+        r.cores = [core(0), core(1, instructions=500, cycles=2000.0, misses=50)]
+        return r
+
+    def test_totals(self):
+        r = self.make()
+        assert r.total_instructions == 1500
+        assert r.total_accesses == 200
+        assert r.total_misses == 75
+        assert r.miss_rate == pytest.approx(0.375)
+
+    def test_mean_cpi_equal_weight(self):
+        r = self.make()
+        # core0 CPI 2.0, core1 CPI 4.0 -> arithmetic mean 3.0
+        assert r.mean_cpi == pytest.approx(3.0)
+
+    def test_empty_system(self):
+        r = SystemResult("no-partitions")
+        assert r.mean_cpi == 0.0
+        assert r.miss_rate == 0.0
+
+    def test_core_lookup(self):
+        r = self.make()
+        assert r.core(1).workload == "w1"
+
+
+class TestEpochRecord:
+    def test_fields(self):
+        rec = EpochRecord(10.0, (16,) * 8, (1,) * 8, ((0, 1),))
+        assert sum(rec.ways) == 128
+        assert rec.pairs == ((0, 1),)
+
+    def test_optional_structure(self):
+        rec = EpochRecord(5.0, (64, 64))
+        assert rec.center_banks is None
+        assert rec.pairs is None

@@ -1,0 +1,124 @@
+"""Utility helpers: bit ops, RNG streams, statistics, floorplan geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import hash_fold, ilog2, is_pow2, line_address
+from repro.util.floorplan import (
+    bank_distance,
+    bank_positions,
+    center_bank_positions,
+    distance_ordered_banks,
+)
+from repro.util.rng import rng_stream
+from repro.util.stats import geometric_mean, relative, safe_div
+
+
+class TestBits:
+    def test_is_pow2(self):
+        assert all(is_pow2(1 << k) for k in range(20))
+        assert not any(is_pow2(x) for x in (0, -2, 3, 6, 12, 100))
+
+    def test_ilog2(self):
+        assert ilog2(1) == 0
+        assert ilog2(2048) == 11
+        with pytest.raises(ValueError):
+            ilog2(3)
+
+    def test_line_address_64b(self):
+        assert line_address(0) == 0
+        assert line_address(63) == 0
+        assert line_address(64) == 1
+        assert line_address(64 * 1000 + 17) == 1000
+
+    @given(st.integers(min_value=0, max_value=2**60), st.integers(1, 20))
+    def test_hash_fold_in_range(self, value, bits):
+        assert 0 <= hash_fold(value, bits) < (1 << bits)
+
+    def test_hash_fold_deterministic(self):
+        assert hash_fold(123456789, 12) == hash_fold(123456789, 12)
+
+    def test_hash_fold_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            hash_fold(1, 0)
+
+
+class TestRng:
+    def test_same_key_same_stream(self):
+        a = rng_stream(7, "x").integers(0, 1000, 10)
+        b = rng_stream(7, "x").integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = rng_stream(7, "x").integers(0, 1 << 30, 20)
+        b = rng_stream(7, "y").integers(0, 1 << 30, 20)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = rng_stream(1, "x").integers(0, 1 << 30, 20)
+        b = rng_stream(2, "x").integers(0, 1 << 30, 20)
+        assert not np.array_equal(a, b)
+
+
+class TestStats:
+    def test_safe_div(self):
+        assert safe_div(6, 3) == 2
+        assert safe_div(6, 0) == 0.0
+        assert safe_div(6, 0, default=1.5) == 1.5
+
+    def test_relative(self):
+        assert relative(3, 6) == 0.5
+        assert relative(3, 0) == 1.0
+
+    def test_geometric_mean_known(self):
+        assert math.isclose(geometric_mean([1, 4]), 2.0)
+        assert math.isclose(geometric_mean([2, 2, 2]), 2.0)
+
+    def test_geometric_mean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+    def test_geometric_mean_between_min_and_max(self, vals):
+        gm = geometric_mean(vals)
+        assert min(vals) - 1e-9 <= gm <= max(vals) + 1e-9
+
+
+class TestFloorplan:
+    def test_center_positions_in_middle_half(self):
+        pos = center_bank_positions(8, 8)
+        assert len(pos) == 8
+        assert min(pos) == pytest.approx(7 * 0.25)
+        assert max(pos) == pytest.approx(7 * 0.75)
+
+    def test_single_center_in_middle(self):
+        assert center_bank_positions(8, 1) == [3.5]
+
+    def test_no_centers(self):
+        assert center_bank_positions(8, 0) == []
+
+    def test_bank_positions_locals_at_cores(self):
+        pos = bank_positions(8, 16)
+        assert pos[:8] == [float(i) for i in range(8)]
+
+    def test_distance_order_starts_local(self):
+        for core in range(8):
+            order = distance_ordered_banks(core, 8, 16)
+            assert order[0] == core
+            assert sorted(order) == list(range(16))
+
+    def test_distance_order_is_monotonic(self):
+        for core in range(8):
+            order = distance_ordered_banks(core, 8, 16)
+            dists = [bank_distance(core, b, 8, 16) for b in order]
+            assert dists == sorted(dists)
+
+    def test_edge_core_reaches_far_local_last(self):
+        order = distance_ordered_banks(0, 8, 16)
+        assert order[-1] == 7  # the Local bank next to the far core

@@ -1,0 +1,224 @@
+"""Synthetic workload generators and the SPEC-like suite."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.miss_curve import MissCurve
+from repro.profiling.msa import MSAProfiler
+from repro.workloads import (
+    ALL_NAMES,
+    FP_NAMES,
+    INTEGER_NAMES,
+    TABLE_III_SETS,
+    Mix,
+    PhasedWorkload,
+    ReusePool,
+    WorkloadSpec,
+    generate_trace,
+    get,
+    random_mixes,
+    state_space_size,
+    suite,
+)
+
+NSETS = 64
+
+
+class TestReusePool:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ReusePool(0, 1.0)
+        with pytest.raises(ValueError):
+            ReusePool(4, 0.0)
+        with pytest.raises(ValueError):
+            ReusePool(4, 1.0, zipf=-1.0)
+
+
+class TestWorkloadSpec:
+    def test_mean_gap_from_apki(self):
+        spec = WorkloadSpec("x", (ReusePool(2, 1.0),), l2_apki=50)
+        assert spec.mean_gap == pytest.approx(19.0)
+
+    def test_component_weights_normalised(self):
+        spec = WorkloadSpec(
+            "x", (ReusePool(2, 3.0), ReusePool(4, 1.0)), stream_weight=1.0
+        )
+        w = spec.component_weights()
+        assert w.sum() == pytest.approx(1.0)
+        assert w[0] == pytest.approx(0.6)
+
+    def test_single_pool_tuple_coercion(self):
+        spec = WorkloadSpec("x", ReusePool(2, 1.0))  # forgiven missing comma
+        assert isinstance(spec.pools, tuple)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", ())
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", (ReusePool(2, 1.0),), write_fraction=1.5)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = get("gzip")
+        a = generate_trace(spec, 1000, NSETS, seed=3)
+        b = generate_trace(spec, 1000, NSETS, seed=3)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.gaps, b.gaps)
+
+    def test_seed_changes_trace(self):
+        spec = get("gzip")
+        a = generate_trace(spec, 1000, NSETS, seed=3)
+        b = generate_trace(spec, 1000, NSETS, seed=4)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_pool_footprint_scales_with_sets(self):
+        spec = WorkloadSpec("x", (ReusePool(4, 1.0),), l2_apki=50)
+        t = generate_trace(spec, 20_000, NSETS, seed=1)
+        assert t.footprint_lines() <= 4 * NSETS
+        assert t.footprint_lines() > 3 * NSETS  # nearly all lines touched
+
+    def test_stream_never_reuses(self):
+        spec = WorkloadSpec("s", (), stream_weight=1.0, l2_apki=50)
+        t = generate_trace(spec, 5000, NSETS, seed=1)
+        assert t.footprint_lines() == 5000
+
+    def test_write_fraction_approx(self):
+        spec = WorkloadSpec(
+            "w", (ReusePool(4, 1.0),), write_fraction=0.5, l2_apki=50
+        )
+        t = generate_trace(spec, 20_000, NSETS, seed=1)
+        assert 0.45 < t.is_write.mean() < 0.55
+
+    def test_mean_gap_approx(self):
+        spec = WorkloadSpec("g", (ReusePool(4, 1.0),), l2_apki=20)
+        t = generate_trace(spec, 20_000, NSETS, seed=1)
+        assert abs(float(t.gaps.mean()) - spec.mean_gap) < 2.0
+
+    def test_base_address_offsets_whole_trace(self):
+        spec = get("gzip")
+        a = generate_trace(spec, 100, NSETS, seed=1)
+        b = generate_trace(spec, 100, NSETS, seed=1, base_address=1 << 30)
+        assert np.array_equal(b.addresses - a.addresses, np.full(100, 1 << 30, dtype=np.uint64))
+
+    def test_sets_covered_uniformly(self):
+        spec = WorkloadSpec("u", (ReusePool(8, 1.0),), l2_apki=50)
+        t = generate_trace(spec, 40_000, NSETS, seed=1)
+        sets = t.lines % NSETS
+        counts = np.bincount(sets.astype(int), minlength=NSETS)
+        assert counts.min() > 0.5 * counts.mean()
+
+    def test_zero_accesses(self):
+        assert len(generate_trace(get("gzip"), 0, NSETS, seed=1)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(get("gzip"), -1, NSETS)
+
+
+class TestPhased:
+    def test_phases_concatenate(self):
+        w = PhasedWorkload([(get("gzip"), 100), (get("mcf"), 50)])
+        t = w.generate(NSETS, seed=1)
+        assert len(t) == 150
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedWorkload([]).generate(NSETS)
+
+
+class TestSuite:
+    def test_26_workloads(self):
+        assert len(suite()) == 26
+        assert len(INTEGER_NAMES) == 12
+        assert len(FP_NAMES) == 14
+        assert set(ALL_NAMES) == set(suite())
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get("doom3")
+
+    def test_specs_have_positive_parameters(self):
+        for spec in suite().values():
+            assert spec.l2_apki > 0
+            assert spec.mlp >= 1
+            assert spec.nonmem_cpi > 0
+            assert 0 <= spec.stream_weight <= 1
+
+
+def _curve(name: str, accesses=40_000, nsets=128) -> MissCurve:
+    prof = MSAProfiler(nsets, 128)
+    trace = generate_trace(get(name), accesses, nsets, seed=5)
+    lines = trace.lines
+    warm = len(lines) // 3
+    prof.observe_many(lines[:warm])
+    prof.reset()
+    prof.observe_many(lines[warm:])
+    return MissCurve.from_profiler(prof, name)
+
+
+class TestFig3Shapes:
+    """The paper's Fig. 3 qualitative behaviours must hold for the suite."""
+
+    def test_sixtrack_saturates_by_8_ways(self):
+        c = _curve("sixtrack")
+        assert c.miss_ratio_at(8) < 0.15
+        assert c.miss_ratio_at(2) > 0.4
+
+    def test_applu_flat_after_knee_with_floor(self):
+        c = _curve("applu")
+        knee, flat = c.miss_ratio_at(16), c.miss_ratio_at(40)
+        assert knee - flat < 0.05  # flat beyond the (inflated) knee
+        assert flat > 0.3  # the streaming floor stays high
+        assert c.miss_ratio_at(4) - knee > 0.25  # steep before it
+
+    def test_bzip2_improves_gradually_to_45(self):
+        c = _curve("bzip2", accesses=60_000)
+        assert c.miss_ratio_at(16) - c.miss_ratio_at(32) > 0.1
+        assert c.miss_ratio_at(32) - c.miss_ratio_at(48) > 0.05
+        assert c.miss_ratio_at(48) < 0.25
+
+    def test_small_footprint_workloads_satisfied_at_8(self):
+        for name in ("gzip", "eon", "galgel", "gap"):
+            c = _curve(name)
+            assert c.miss_ratio_at(8) < 0.25, name
+
+    def test_streamers_keep_high_floor(self):
+        for name in ("swim", "mcf"):
+            c = _curve(name)
+            assert c.miss_ratio_at(72) > 0.4, name
+
+
+class TestMixes:
+    def test_state_space_matches_paper(self):
+        # C(26 + 8 - 1, 8) — "approximately 14 million"
+        assert state_space_size() == 13_884_156
+
+    def test_table_iii_has_8_sets_of_8(self):
+        assert len(TABLE_III_SETS) == 8
+        assert all(len(m) == 8 for m in TABLE_III_SETS)
+
+    def test_table_iii_set2_matches_paper(self):
+        assert TABLE_III_SETS[1].names == (
+            "crafty", "gap", "mcf", "art", "equake", "equake", "bzip2", "equake",
+        )
+
+    def test_random_mixes_deterministic(self):
+        a = random_mixes(10, seed=1)
+        b = random_mixes(10, seed=1)
+        assert [m.names for m in a] == [m.names for m in b]
+
+    def test_random_mixes_draw_with_repetition(self):
+        mixes = random_mixes(200, seed=3)
+        assert any(len(set(m.names)) < len(m.names) for m in mixes)
+
+    def test_mix_validates_names(self):
+        with pytest.raises(KeyError):
+            Mix(("gzip", "nope"))
+
+    def test_mix_specs(self):
+        m = Mix(("gzip", "mcf"))
+        assert [s.name for s in m.specs()] == ["gzip", "mcf"]
+        assert str(m) == "gzip+mcf"
