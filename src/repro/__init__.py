@@ -18,10 +18,16 @@ for the per-paper-figure experiment index.
 """
 
 from repro.config import (
+    ResilienceConfig,
     SystemConfig,
     baseline_config,
     default_scale,
     scaled_config,
+)
+from repro.resilience import (
+    DecisionGuard,
+    FaultPlan,
+    ReproError,
 )
 from repro.workloads import (
     ALL_NAMES,
@@ -38,7 +44,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_NAMES",
+    "DecisionGuard",
+    "FaultPlan",
     "Mix",
+    "ReproError",
+    "ResilienceConfig",
     "SystemConfig",
     "TABLE_III_SETS",
     "WorkloadSpec",

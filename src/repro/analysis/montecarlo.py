@@ -27,6 +27,7 @@ from repro.partitioning.static import equal_partition
 from repro.partitioning.unrestricted import predicted_misses, unrestricted_partition
 from repro.profiling.miss_curve import MissCurve
 from repro.profiling.msa import MSAProfiler
+from repro.resilience.checkpoint import SweepCheckpoint
 from repro.workloads.mixes import Mix, random_mixes
 from repro.workloads.spec_like import ALL_NAMES, get
 from repro.workloads.synthetic import generate_trace
@@ -92,6 +93,27 @@ class MonteCarloPoint:
             else 1.0
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for sweep checkpoints)."""
+        return {
+            "mix": list(self.mix.names),
+            "equal": self.equal_misses,
+            "unrestricted": self.unrestricted_misses,
+            "bank_aware": self.bank_aware_misses,
+            "ways": list(self.bank_aware_ways),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MonteCarloPoint":
+        """Inverse of :meth:`to_dict` (floats round-trip exactly via JSON)."""
+        return cls(
+            Mix(tuple(data["mix"])),
+            data["equal"],
+            data["unrestricted"],
+            data["bank_aware"],
+            tuple(data["ways"]),
+        )
+
 
 @dataclass
 class MonteCarloResult:
@@ -133,34 +155,63 @@ def run_monte_carlo(
     seed: int = 2009,
     profile_accesses: int = 60_000,
     min_ways: int = 1,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
 ) -> MonteCarloResult:
     """Steps 2-4 of the paper's comparison methodology for ``num_mixes``
-    random workload sets."""
+    random workload sets.
+
+    With ``checkpoint_path`` the sweep snapshots completed points to an
+    atomic JSON file every ``config.resilience.checkpoint_every`` mixes (and
+    on any exit, including exceptions); ``resume=True`` restores those
+    points and continues.  ``random_mixes`` draws mixes sequentially from
+    the seed, so mix *i* is identical across runs and a killed-and-resumed
+    sweep reproduces the uninterrupted one bit-for-bit — resuming into a
+    larger ``num_mixes`` is likewise well-defined (prefix determinism).
+    """
     cfg = config or scaled_config()
     if curves is None:
         curves = collect_profiles(config=cfg, accesses=profile_accesses)
     total_ways = cfg.l2.total_ways
-    result = MonteCarloResult()
-    for mix in random_mixes(num_mixes, cfg.num_cores, seed=seed):
-        mix_curves = [curves[name] for name in mix.names]
-        equal = equal_partition(cfg.num_cores, total_ways)
-        unrestricted = unrestricted_partition(
-            mix_curves, total_ways, min_ways=min_ways
-        )
-        decision = bank_aware_partition(
-            mix_curves,
-            num_banks=cfg.l2.num_banks,
-            bank_ways=cfg.l2.bank_ways,
-            max_ways_per_core=cfg.max_ways_per_core,
-            min_ways=min_ways,
-        )
-        result.points.append(
-            MonteCarloPoint(
+    meta = {
+        "seed": seed,
+        "num_cores": cfg.num_cores,
+        "num_banks": cfg.l2.num_banks,
+        "bank_ways": cfg.l2.bank_ways,
+        "min_ways": min_ways,
+        "profile_accesses": profile_accesses,
+    }
+    ckpt = SweepCheckpoint(
+        checkpoint_path, "monte-carlo", meta,
+        every=cfg.resilience.checkpoint_every, resume=resume,
+    )
+    result = MonteCarloResult(
+        points=[MonteCarloPoint.from_dict(d) for d in ckpt.completed]
+    )
+    mixes = random_mixes(num_mixes, cfg.num_cores, seed=seed)
+    try:
+        for mix in mixes[len(result.points):]:
+            mix_curves = [curves[name] for name in mix.names]
+            equal = equal_partition(cfg.num_cores, total_ways)
+            unrestricted = unrestricted_partition(
+                mix_curves, total_ways, min_ways=min_ways
+            )
+            decision = bank_aware_partition(
+                mix_curves,
+                num_banks=cfg.l2.num_banks,
+                bank_ways=cfg.l2.bank_ways,
+                max_ways_per_core=cfg.max_ways_per_core,
+                min_ways=min_ways,
+            )
+            point = MonteCarloPoint(
                 mix,
                 predicted_misses(mix_curves, equal),
                 predicted_misses(mix_curves, unrestricted),
                 predicted_misses(mix_curves, list(decision.ways)),
                 decision.ways,
             )
-        )
+            result.points.append(point)
+            ckpt.record(point.to_dict())
+    finally:
+        ckpt.save()  # snapshot on kill/exception too, not just at the end
     return result

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.bank import CacheBank
+from repro.resilience.errors import PartitionInvariantError
 
 
 @dataclass(frozen=True)
@@ -113,15 +114,15 @@ class PartitionMap:
         for core, part in self.partitions.items():
             for alloc in part.allocations():
                 if not 0 <= alloc.bank < num_banks:
-                    raise ValueError(f"bank {alloc.bank} out of range")
+                    raise PartitionInvariantError(f"bank {alloc.bank} out of range")
                 for w in alloc.ways:
                     if w >= bank_ways:
-                        raise ValueError(
+                        raise PartitionInvariantError(
                             f"way {w} out of range for {bank_ways}-way bank"
                         )
                     key = (alloc.bank, w)
                     if key in claimed:
-                        raise ValueError(
+                        raise PartitionInvariantError(
                             f"bank {alloc.bank} way {w} claimed by cores "
                             f"{claimed[key]} and {core}"
                         )

@@ -6,6 +6,7 @@ Gives downstream users the paper's pipeline without writing Python:
 * ``partition``  — run the Bank-aware (or Unrestricted) assignment on a mix.
 * ``simulate``   — detailed simulation of a mix under one scheme.
 * ``compare``    — all three schemes on one mix, relative metrics.
+* ``montecarlo`` — analytic sweep over random mixes, checkpoint/resumable.
 * ``suite``      — list the 26 SPEC-like workload models.
 * ``machine``    — print the (scaled) Table I machine description.
 
@@ -14,6 +15,8 @@ Examples::
     python -m repro profile bzip2 --ways 8,16,32,45
     python -m repro partition crafty gap mcf art equake equake bzip2 equake
     python -m repro compare --set 2 --duration 4000000
+    python -m repro compare --set 2 --inject-faults '0:zero@1,3:corrupt@2'
+    python -m repro montecarlo --mixes 1000 --checkpoint mc.json --resume
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from collections.abc import Sequence
 from repro.analysis import (
     collect_profiles,
     format_table,
+    run_monte_carlo,
     table1_rows,
 )
 from repro.config import SystemConfig, scaled_config
@@ -33,9 +37,35 @@ from repro.partitioning import (
     predicted_misses,
     unrestricted_partition,
 )
-from repro.profiling import load_curves, save_curves
+from repro.profiling import MissCurve, load_curves, save_curves
+from repro.resilience import (
+    DecisionGuard,
+    FaultPlan,
+    ProfilerFault,
+    ReproError,
+)
 from repro.sim import RunSettings, compare_schemes, run_mix
 from repro.workloads import ALL_NAMES, TABLE_III_SETS, Mix, get, suite
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
 
 
 def _machine(args: argparse.Namespace) -> SystemConfig:
@@ -44,27 +74,55 @@ def _machine(args: argparse.Namespace) -> SystemConfig:
 
 def _add_machine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
-        "--scale", type=int, default=8,
+        "--scale", type=_positive_int, default=8,
         help="linear machine scale-down factor (1 = the full paper machine)",
     )
     p.add_argument(
-        "--epoch", type=int, default=2_000_000,
+        "--epoch", type=_positive_int, default=2_000_000,
         help="repartitioning epoch in cycles",
     )
 
 
-def _resolve_mix(args: argparse.Namespace) -> Mix:
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="seeded profiler fault plan, e.g. '0:zero@1,3:corrupt@2-5' "
+             "(CORE:KIND[@START[-END]], kinds: zero/freeze/corrupt/"
+             "degenerate/drop-epoch, '*' = any core for drop-epoch)",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plan's corruption RNG",
+    )
+
+
+def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    if not getattr(args, "inject_faults", None):
+        return None
+    return FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
+
+
+def _resolve_mix(args: argparse.Namespace, num_cores: int) -> Mix:
     if getattr(args, "set", None) is not None:
         if not 1 <= args.set <= len(TABLE_III_SETS):
             raise SystemExit(f"--set must be 1..{len(TABLE_III_SETS)}")
         return TABLE_III_SETS[args.set - 1]
     names = list(args.workloads)
     if not names:
-        raise SystemExit("give 8 workload names or --set N")
+        raise SystemExit(f"give {num_cores} workload names or --set N")
     unknown = [n for n in names if n not in ALL_NAMES]
     if unknown:
         raise SystemExit(f"unknown workloads {unknown}; see 'repro suite'")
+    if len(names) != num_cores:
+        raise SystemExit(f"need {num_cores} workloads, got {len(names)}")
     return Mix(tuple(names))
+
+
+def _print_guard_events(events) -> None:
+    if events:
+        print(f"\nguard log ({len(events)} events):")
+        for time, kind, detail, mode in events:
+            print(f"  [{time:>12,.0f}] {kind:<8} ({mode}) {detail}")
 
 
 def cmd_suite(_args: argparse.Namespace) -> int:
@@ -114,11 +172,51 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _curve_histogram(curve: MissCurve):
+    """Invert a miss curve back to its MSA histogram (hit bins + miss bin),
+    so the fault injector can corrupt analytic curves the same way it
+    corrupts live profiler reads."""
+    import numpy as np
+
+    hits = -np.diff(curve.misses)
+    return np.concatenate((hits, [curve.misses[-1]]))
+
+
+def _guarded_curves(
+    curves: list[MissCurve], plan: FaultPlan, cfg: SystemConfig
+) -> tuple[list[MissCurve] | None, DecisionGuard]:
+    """Run the analytic curves through the fault injector + decision guard.
+
+    Returns ``(checked_curves, guard)``; the curves are ``None`` when any
+    profiler was flagged unhealthy (the caller falls back to equal shares,
+    exactly as the epoch controller's ladder would).
+    """
+    injector = plan.injector()
+    guard = DecisionGuard(
+        cfg.num_cores,
+        num_banks=cfg.l2.num_banks,
+        bank_ways=cfg.l2.bank_ways,
+        max_ways_per_core=cfg.max_ways_per_core,
+        min_ways=cfg.resilience.min_ways,
+        hysteresis=cfg.resilience.hysteresis_epochs,
+        degrade_after=cfg.resilience.degrade_after,
+    )
+    checked: list[MissCurve] = []
+    for core, curve in enumerate(curves):
+        hist = injector.filter_histogram(core, _curve_histogram(curve), 0)
+        try:
+            checked.append(
+                guard.checked_curve(curve.name, core, hist, min_observations=1.0)
+            )
+        except ProfilerFault as fault:
+            guard.note_failure(0.0, fault)
+            return None, guard
+    return checked, guard
+
+
 def cmd_partition(args: argparse.Namespace) -> int:
     cfg = _machine(args)
-    mix = _resolve_mix(args)
-    if len(mix) != cfg.num_cores:
-        raise SystemExit(f"need {cfg.num_cores} workloads, got {len(mix)}")
+    mix = _resolve_mix(args, cfg.num_cores)
     if args.curves:
         curves_by_name = load_curves(args.curves)
         missing = set(mix.names) - set(curves_by_name)
@@ -128,6 +226,22 @@ def cmd_partition(args: argparse.Namespace) -> int:
         curves_by_name = collect_profiles(tuple(set(mix.names)), cfg,
                                           accesses=args.accesses, seed=args.seed)
     curves = [curves_by_name[n] for n in mix.names]
+    plan = _fault_plan(args)
+    if plan is not None:
+        checked, guard = _guarded_curves(curves, plan, cfg)
+        if checked is None:
+            events = [(e.time, e.kind, e.detail, e.mode) for e in guard.events]
+            _print_guard_events(events)
+            per_core = cfg.l2.total_ways // cfg.num_cores
+            rows = [(f"core{i}", name, per_core)
+                    for i, name in enumerate(mix.names)]
+            print()
+            print(format_table(
+                ["core", "workload", "ways"], rows,
+                title="Fallback: equal shares (profiler flagged unhealthy)",
+            ))
+            return 0
+        curves = checked
     decision = bank_aware_partition(
         curves,
         num_banks=cfg.l2.num_banks,
@@ -156,8 +270,9 @@ def cmd_partition(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     cfg = _machine(args)
-    mix = _resolve_mix(args)
-    settings = RunSettings(duration_cycles=args.duration, seed=args.seed)
+    mix = _resolve_mix(args, cfg.num_cores)
+    settings = RunSettings(duration_cycles=args.duration, seed=args.seed,
+                           fault_plan=_fault_plan(args))
     result = run_mix(mix, args.scheme, cfg, settings)
     rows = [
         (c.core, c.workload, c.l2_accesses, f"{c.miss_rate:.3f}",
@@ -172,13 +287,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
           f"migrations {result.migrations:,}; epochs {len(result.epochs)}")
     if result.epochs:
         print(f"last allocation: {result.epochs[-1].ways}")
+    _print_guard_events(result.guard_events)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     cfg = _machine(args)
-    mix = _resolve_mix(args)
-    settings = RunSettings(duration_cycles=args.duration, seed=args.seed)
+    mix = _resolve_mix(args, cfg.num_cores)
+    settings = RunSettings(duration_cycles=args.duration, seed=args.seed,
+                           fault_plan=_fault_plan(args))
     comp = compare_schemes(mix, cfg, settings)
     rows = []
     for scheme in comp.results:
@@ -191,6 +308,40 @@ def cmd_compare(args: argparse.Namespace) -> int:
         ["scheme", "rel. misses/instr", "rel. CPI", "migrations"], rows,
         title=f"Scheme comparison on {mix}",
     ))
+    for scheme, result in comp.results.items():
+        if result.guard_events:
+            print(f"\n[{scheme}]", end="")
+            _print_guard_events(result.guard_events)
+    return 0
+
+
+def cmd_montecarlo(args: argparse.Namespace) -> int:
+    cfg = _machine(args)
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH")
+    result = run_monte_carlo(
+        args.mixes,
+        cfg,
+        seed=args.seed,
+        profile_accesses=args.accesses,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("mixes evaluated", f"{len(result.points)}"),
+            ("mean relative misses, Unrestricted",
+             f"{result.mean_unrestricted_ratio:.4f}"),
+            ("mean relative misses, Bank-aware",
+             f"{result.mean_bank_aware_ratio:.4f}"),
+            ("restriction penalty",
+             f"{result.restriction_penalty():.4f}"),
+        ],
+        title=f"Monte Carlo sweep ({args.mixes} random mixes, seed {args.seed})",
+    ))
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint}")
     return 0
 
 
@@ -211,8 +362,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("profile", help="MSA-profile workloads")
     p.add_argument("workloads", nargs="+", choices=sorted(ALL_NAMES))
     p.add_argument("--ways", default="2,4,8,16,32,45,64")
-    p.add_argument("--accesses", type=int, default=80_000)
-    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--accesses", type=_positive_int, default=80_000)
+    p.add_argument("--seed", type=_positive_int, default=11)
     p.add_argument("--save", help="save the curves to an .npz for reuse")
     _add_machine_args(p)
     p.set_defaults(fn=cmd_profile)
@@ -221,11 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workloads", nargs="*", default=[],
                    metavar="WORKLOAD", help="8 workload names (see 'suite')")
     p.add_argument("--set", type=int, help="use paper Table III set N (1-8)")
-    p.add_argument("--accesses", type=int, default=80_000)
-    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--accesses", type=_positive_int, default=80_000)
+    p.add_argument("--seed", type=_positive_int, default=11)
     p.add_argument("--curves", help="load cached curves (.npz from 'profile --save')")
     p.add_argument("--unrestricted", action="store_true",
                    help="also show the Unrestricted (UCP) assignment")
+    _add_fault_args(p)
     _add_machine_args(p)
     p.set_defaults(fn=cmd_partition)
 
@@ -240,17 +392,43 @@ def build_parser() -> argparse.ArgumentParser:
                 default="bank-aware",
                 choices=("no-partitions", "equal-partitions", "bank-aware"),
             )
-        p.add_argument("--duration", type=float, default=4_000_000)
-        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--duration", type=_positive_float, default=4_000_000)
+        p.add_argument("--seed", type=_positive_int, default=7)
+        _add_fault_args(p)
         _add_machine_args(p)
         p.set_defaults(fn=fn)
+
+    p = sub.add_parser(
+        "montecarlo",
+        help="analytic Monte Carlo sweep over random mixes (Fig. 7)",
+    )
+    p.add_argument("--mixes", type=_positive_int, default=100,
+                   help="number of random mixes to evaluate")
+    p.add_argument("--seed", type=_positive_int, default=2009)
+    p.add_argument("--accesses", type=_positive_int, default=60_000,
+                   help="profiling accesses per workload")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="snapshot completed mixes to this JSON file")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from an existing --checkpoint snapshot")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_montecarlo)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        # contained, expected failures (corrupt checkpoints, bad fault
+        # specs, ...) exit cleanly instead of dumping a traceback
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -146,6 +146,38 @@ class ProfilerConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Decision-guard and checkpointing knobs (see :mod:`repro.resilience`).
+
+    The guard validates every epoch decision against hard invariants and
+    falls back to the last-known-good partition on violations; sustained
+    failures descend the degraded-mode ladder (bank-aware → equal-share →
+    frozen) after ``degrade_after`` consecutive bad epochs, and recovery
+    climbs one rung per ``hysteresis_epochs`` consecutive healthy epochs.
+    """
+
+    guard_enabled: bool = True
+    #: consecutive healthy epochs required to climb one ladder rung back up.
+    hysteresis_epochs: int = 2
+    #: consecutive failed epochs per ladder rung descended.
+    degrade_after: int = 3
+    #: smallest share the guard allows any core (paper floor: one way).
+    min_ways: int = 1
+    #: completed sweep items between checkpoint snapshots.
+    checkpoint_every: int = 25
+
+    def validate(self) -> None:
+        if self.hysteresis_epochs < 1:
+            raise ValueError("hysteresis must be at least one epoch")
+        if self.degrade_after < 1:
+            raise ValueError("degrade_after must be at least one failure")
+        if self.min_ways < 1:
+            raise ValueError("every core must keep at least one way")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint interval must be at least one item")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete CMP description (paper Table I by default)."""
 
@@ -155,6 +187,7 @@ class SystemConfig:
     core: CoreConfig = field(default_factory=CoreConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     profiler: ProfilerConfig = field(default_factory=ProfilerConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     #: cycles between dynamic repartitioning decisions (paper: 100 M).
     epoch_cycles: int = 100_000_000
 
@@ -168,6 +201,7 @@ class SystemConfig:
         self.core.validate()
         self.memory.validate()
         self.profiler.validate()
+        self.resilience.validate()
         return self
 
     @property

@@ -32,6 +32,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.profiling.miss_curve import MissCurve
+from repro.resilience.errors import PartitionInvariantError
 
 
 @dataclass(frozen=True)
@@ -53,28 +54,28 @@ class BankAwareDecision:
     def __post_init__(self) -> None:
         n = len(self.ways)
         if len(self.center_banks) != n:
-            raise ValueError("one center-bank count per core required")
+            raise PartitionInvariantError("one center-bank count per core required")
         paired: set[int] = set()
         for a, b in self.pairs:
             if b != a + 1:
-                raise ValueError(f"pair ({a},{b}) is not adjacent")
+                raise PartitionInvariantError(f"pair ({a},{b}) is not adjacent")
             if a in paired or b in paired:
-                raise ValueError("a core may belong to only one pair")
+                raise PartitionInvariantError("a core may belong to only one pair")
             paired.update((a, b))
             if self.center_banks[a] or self.center_banks[b]:
-                raise ValueError("center-bank cores may not share Local banks")
+                raise PartitionInvariantError("center-bank cores may not share Local banks")
             if self.ways[a] + self.ways[b] != 2 * self.bank_ways:
-                raise ValueError("a pair must split exactly two Local banks")
+                raise PartitionInvariantError("a pair must split exactly two Local banks")
         for core in range(n):
             if self.center_banks[core]:
                 expect = self.bank_ways * (1 + self.center_banks[core])
                 if self.ways[core] != expect:
-                    raise ValueError(
+                    raise PartitionInvariantError(
                         f"core {core} has {self.center_banks[core]} center "
                         f"banks but {self.ways[core]} ways (expected {expect})"
                     )
             elif core not in paired and self.ways[core] != self.bank_ways:
-                raise ValueError(
+                raise PartitionInvariantError(
                     f"unpaired core {core} must own exactly its Local bank"
                 )
 
@@ -148,7 +149,9 @@ def bank_aware_partition(
             if best_key is None or key > best_key:
                 best_key, best_core = key, core
         if best_core < 0:
-            raise RuntimeError("capacity cap leaves a Center bank unassignable")
+            raise PartitionInvariantError(
+                "capacity cap leaves a Center bank unassignable"
+            )
         alloc[best_core] += bank_ways
         centers[best_core] += 1
     complete = [centers[c] > 0 for c in range(n)]

@@ -1,0 +1,56 @@
+"""Resilience subsystem: fault injection, guarded decisions, checkpoints.
+
+The dynamic partitioning pipeline trusts sampled hardware profilers for
+every epoch decision and runs sweeps long enough that crashes are a
+when-not-if.  This package makes the reproduction *test* that trust
+(:mod:`~repro.resilience.faults`), *contain* its violations
+(:mod:`~repro.resilience.guard`) and *survive* interruptions
+(:mod:`~repro.resilience.checkpoint`), under a structured error taxonomy
+(:mod:`~repro.resilience.errors`).
+"""
+
+from repro.resilience.checkpoint import (
+    SweepCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.errors import (
+    CheckpointCorrupt,
+    ConfigError,
+    PartitionInvariantError,
+    ProfilerFault,
+    ReproError,
+)
+from repro.resilience.faults import (
+    ANY_CORE,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.resilience.guard import (
+    LADDER,
+    DecisionGuard,
+    DegradedMode,
+    GuardEvent,
+)
+
+__all__ = [
+    "ANY_CORE",
+    "CheckpointCorrupt",
+    "ConfigError",
+    "DecisionGuard",
+    "DegradedMode",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "GuardEvent",
+    "LADDER",
+    "PartitionInvariantError",
+    "ProfilerFault",
+    "ReproError",
+    "SweepCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+]

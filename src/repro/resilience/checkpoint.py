@@ -1,0 +1,144 @@
+"""Checkpoint/resume for long sweeps: atomic, integrity-checked JSON.
+
+A 1000-mix Monte Carlo sweep or an 8-set detailed-simulation sweep is hours
+of work that a kill -9, OOM or power cut should not erase.  The discipline
+here is the standard production one:
+
+* snapshots are **atomic** — written to a temp file in the same directory,
+  fsynced, then ``os.replace``d over the target, so a crash mid-write leaves
+  either the old snapshot or the new one, never a torn file;
+* snapshots are **integrity-checked** — a SHA-256 checksum over the
+  canonical payload is verified on load, and any parse/schema/checksum
+  failure raises :class:`~repro.resilience.errors.CheckpointCorrupt` rather
+  than silently resuming from garbage;
+* snapshots are **keyed by their parameters** — the sweep's defining
+  metadata (seed, machine shape, ...) is stored alongside the results, and
+  resuming with different parameters is refused, because it would splice
+  statistics from two different experiments.
+
+Resumability relies on the sweeps being *prefix-deterministic*: the i-th
+work item depends only on the seed (``random_mixes`` draws sequentially), so
+completed items can be restored verbatim and the remainder recomputed
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.resilience.errors import CheckpointCorrupt
+
+FORMAT = "repro-sweep-checkpoint"
+VERSION = 1
+
+
+def _payload_digest(kind: str, meta: dict, completed: list) -> str:
+    canonical = json.dumps(
+        {"kind": kind, "meta": meta, "completed": completed},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def save_checkpoint(path: str, kind: str, meta: dict, completed: list) -> None:
+    """Atomically write one snapshot (temp file + fsync + rename)."""
+    payload = {
+        "format": FORMAT,
+        "version": VERSION,
+        "kind": kind,
+        "meta": meta,
+        "completed": completed,
+        "checksum": _payload_digest(kind, meta, completed),
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = os.path.join(directory, f".{os.path.basename(path)}.tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str, kind: str) -> tuple[dict, list]:
+    """Load and verify a snapshot; returns ``(meta, completed)``.
+
+    Raises :class:`CheckpointCorrupt` on any parse, schema, version, kind or
+    checksum failure.  A missing file raises :class:`FileNotFoundError` —
+    that is a normal "nothing to resume", not corruption.
+    """
+    with open(path, encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorrupt(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT:
+        raise CheckpointCorrupt(f"{path}: not a {FORMAT} file")
+    if payload.get("version") != VERSION:
+        raise CheckpointCorrupt(
+            f"{path}: snapshot version {payload.get('version')!r}, "
+            f"this build reads version {VERSION}"
+        )
+    if payload.get("kind") != kind:
+        raise CheckpointCorrupt(
+            f"{path}: holds a {payload.get('kind')!r} sweep, expected {kind!r}"
+        )
+    meta, completed = payload.get("meta"), payload.get("completed")
+    if not isinstance(meta, dict) or not isinstance(completed, list):
+        raise CheckpointCorrupt(f"{path}: malformed snapshot body")
+    if payload.get("checksum") != _payload_digest(kind, meta, completed):
+        raise CheckpointCorrupt(f"{path}: checksum mismatch (truncated or edited)")
+    return meta, completed
+
+
+class SweepCheckpoint:
+    """Progress store for one resumable sweep.
+
+    ``resume=True`` restores previously completed items when a matching
+    snapshot exists; a snapshot whose metadata disagrees with the current
+    sweep parameters is refused (:class:`CheckpointCorrupt`), because its
+    items belong to a different experiment.
+    """
+
+    def __init__(
+        self,
+        path: str | None,
+        kind: str,
+        meta: dict,
+        *,
+        every: int = 25,
+        resume: bool = False,
+    ) -> None:
+        if every < 1:
+            raise ValueError("checkpoint interval must be at least 1 item")
+        self.path = path
+        self.kind = kind
+        self.meta = dict(meta)
+        self.every = every
+        self.completed: list = []
+        if resume and path is not None:
+            try:
+                meta_on_disk, completed = load_checkpoint(path, kind)
+            except FileNotFoundError:
+                pass  # nothing to resume — fresh sweep
+            else:
+                if meta_on_disk != self.meta:
+                    raise CheckpointCorrupt(
+                        f"{path}: snapshot parameters {meta_on_disk} do not "
+                        f"match this sweep's {self.meta}; refusing to splice"
+                    )
+                self.completed = completed
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def record(self, item: dict) -> None:
+        """Append one completed work item; snapshots every ``every`` items."""
+        self.completed.append(item)
+        if self.path is not None and len(self.completed) % self.every == 0:
+            self.save()
+
+    def save(self) -> None:
+        if self.path is not None:
+            save_checkpoint(self.path, self.kind, self.meta, self.completed)

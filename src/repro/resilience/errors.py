@@ -1,0 +1,55 @@
+"""Structured exception taxonomy for the resilience subsystem.
+
+Every failure the resilience machinery can detect — and therefore contain —
+is a :class:`ReproError`, so callers (the epoch controller, the sweep
+drivers, the CLI) can distinguish *contained, expected* faults from genuine
+programming errors and react without a bare ``except Exception``.
+
+Errors that replace what used to be plain ``ValueError`` raises also inherit
+from :class:`ValueError`, so existing callers that caught ``ValueError`` on
+those paths keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CheckpointCorrupt",
+    "ConfigError",
+    "PartitionInvariantError",
+    "ProfilerFault",
+    "ReproError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every structured error raised by this package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A component was constructed with out-of-domain parameters."""
+
+
+class ProfilerFault(ReproError):
+    """A profiler's output is unusable for a partitioning decision.
+
+    Raised when an MSA histogram has too few observations, contains negative
+    or non-finite counters, or projects a non-monotone miss curve — whether
+    the cause is an injected fault or a real profiler pathology.
+    """
+
+    def __init__(self, message: str, *, core: int | None = None) -> None:
+        super().__init__(message)
+        self.core = core
+
+
+class PartitionInvariantError(ReproError, ValueError):
+    """A partitioning decision violates a hard structural invariant.
+
+    The invariants are the ones the paper's scheme depends on for safety:
+    way conservation, the 9/16 maximum-assignable-capacity cap, a minimum
+    share per core, and Rules 1–3 of the Bank-aware assignment.
+    """
+
+
+class CheckpointCorrupt(ReproError):
+    """A sweep checkpoint file failed parsing or integrity validation."""

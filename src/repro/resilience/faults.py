@@ -1,0 +1,177 @@
+"""Seeded fault injection for the MSA profiling / repartitioning path.
+
+The dynamic scheme trusts noisy hardware profilers (12-bit partial tags,
+1-in-32 set sampling) for every epoch decision; this module makes that trust
+*testable* by corrupting what the controller reads in precisely controlled,
+reproducible ways:
+
+* ``zero``       — the core's histogram reads as all zeros (dead profiler);
+* ``freeze``     — the histogram is pinned to its value at fault onset
+  (stuck counters: stale but well-formed data);
+* ``corrupt``    — a seeded RNG rescales random counter bins by factors in
+  ``[-4, 64]`` (bit flips / glitched increments; occasionally produces
+  negative counts the decision guard can catch);
+* ``degenerate`` — one hit counter is driven hard negative so the projected
+  miss curve is non-monotone (guaranteed-detectable garbage);
+* ``drop-epoch`` — the controller's epoch boundary simply does not fire.
+
+Faults are described declaratively by a :class:`FaultPlan` (seed + specs),
+so every failure scenario is replayable from its constructor arguments or
+from the CLI string form, e.g. ``"0:zero@2,3:corrupt@1-4,*:drop-epoch@5"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from dataclasses import dataclass
+
+from repro.resilience.errors import ConfigError
+from repro.util.rng import rng_stream
+
+FAULT_KINDS = ("zero", "freeze", "corrupt", "degenerate", "drop-epoch")
+
+#: core index meaning "not tied to one core" (only valid for drop-epoch).
+ANY_CORE = -1
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: which core, what kind, and over which epoch window.
+
+    ``start_epoch`` is inclusive and ``end_epoch`` exclusive (``None`` means
+    the fault never clears); epoch 0 is the first repartitioning decision.
+    """
+
+    core: int
+    kind: str
+    start_epoch: int = 0
+    end_epoch: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; "
+                              f"choose from {FAULT_KINDS}")
+        if self.core == ANY_CORE and self.kind != "drop-epoch":
+            raise ConfigError("'*' (any core) is only valid for drop-epoch")
+        if self.core < ANY_CORE:
+            raise ConfigError("fault core must be a core index or '*'")
+        if self.start_epoch < 0:
+            raise ConfigError("fault start epoch must be non-negative")
+        if self.end_epoch is not None and self.end_epoch <= self.start_epoch:
+            raise ConfigError("fault end epoch must exceed its start epoch")
+
+    def active(self, epoch: int) -> bool:
+        if epoch < self.start_epoch:
+            return False
+        return self.end_epoch is None or epoch < self.end_epoch
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse ``CORE:KIND``, ``CORE:KIND@START`` or ``CORE:KIND@A-B``."""
+        head, _, window = text.strip().partition("@")
+        core_s, sep, kind = head.partition(":")
+        if not sep or not kind:
+            raise ConfigError(f"fault spec {text!r} is not CORE:KIND[@EPOCHS]")
+        try:
+            core = ANY_CORE if core_s.strip() == "*" else int(core_s)
+        except ValueError:
+            raise ConfigError(f"fault core {core_s!r} is not an integer or '*'")
+        start, end = 0, None
+        if window:
+            a, sep, b = window.partition("-")
+            try:
+                start = int(a)
+                end = int(b) if sep else None
+            except ValueError:
+                raise ConfigError(f"fault window {window!r} is not N or A-B")
+        return cls(core, kind.strip(), start, end)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible failure scenario: a seed plus a set of faults."""
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, text: str, *, seed: int = 0) -> "FaultPlan":
+        """Build a plan from the CLI form: comma-separated fault specs."""
+        specs = tuple(
+            FaultSpec.parse(part) for part in text.split(",") if part.strip()
+        )
+        return cls(specs, seed)
+
+    def injector(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+    def __str__(self) -> str:
+        parts = []
+        for f in self.faults:
+            core = "*" if f.core == ANY_CORE else str(f.core)
+            window = ""
+            if f.start_epoch or f.end_epoch is not None:
+                window = f"@{f.start_epoch}"
+                if f.end_epoch is not None:
+                    window += f"-{f.end_epoch}"
+            parts.append(f"{core}:{f.kind}{window}")
+        return ",".join(parts)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to the controller's profiler reads.
+
+    The injector sits between the profilers and the epoch controller: the
+    controller passes every histogram it is about to trust through
+    :meth:`filter_histogram` and asks :meth:`drops_epoch` before acting on a
+    boundary.  All corruption is keyed by ``(seed, core, epoch)`` so the
+    same plan replays bit-identically.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._frozen: dict[int, np.ndarray] = {}
+        self.events: list[str] = []
+
+    def _log(self, epoch: int, message: str) -> None:
+        self.events.append(f"epoch {epoch}: {message}")
+
+    def drops_epoch(self, epoch: int) -> bool:
+        """True when an active ``drop-epoch`` fault swallows this boundary."""
+        for fault in self.plan.faults:
+            if fault.kind == "drop-epoch" and fault.active(epoch):
+                self._log(epoch, "epoch boundary dropped")
+                return True
+        return False
+
+    def filter_histogram(
+        self, core: int, histogram: np.ndarray, epoch: int
+    ) -> np.ndarray:
+        """The histogram the controller *sees* for ``core`` at ``epoch``."""
+        out = np.asarray(histogram, dtype=np.float64)
+        for fault in self.plan.faults:
+            if fault.core != core or not fault.active(epoch):
+                continue
+            if fault.kind == "zero":
+                out = np.zeros_like(out)
+                self._log(epoch, f"core {core} histogram zeroed")
+            elif fault.kind == "freeze":
+                if core not in self._frozen:
+                    self._frozen[core] = out.copy()
+                out = self._frozen[core].copy()
+                self._log(epoch, f"core {core} histogram frozen")
+            elif fault.kind == "corrupt":
+                rng = rng_stream(self.plan.seed, "corrupt", core, epoch)
+                out = out.copy()
+                bins = rng.integers(0, len(out), size=max(1, len(out) // 4))
+                out[bins] *= rng.uniform(-4.0, 64.0, size=len(bins))
+                self._log(epoch, f"core {core} counters corrupted "
+                                 f"({len(set(bins.tolist()))} bins)")
+            elif fault.kind == "degenerate":
+                rng = rng_stream(self.plan.seed, "degenerate", core, epoch)
+                out = out.copy()
+                scale = max(float(np.abs(out).max()), 1.0)
+                out[int(rng.integers(0, max(1, len(out) - 1)))] = -8.0 * scale
+                self._log(epoch, f"core {core} miss curve made non-monotone")
+        return out

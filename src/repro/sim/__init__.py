@@ -7,6 +7,7 @@ from repro.sim.runner import (
     build_system,
     compare_schemes,
     run_mix,
+    run_sweep,
 )
 from repro.sim.stats import CoreResult, EpochRecord, SystemResult
 from repro.sim.system import ALL_SIM_SCHEMES, DETAILED_SCHEMES, CMPSystem
@@ -24,4 +25,5 @@ __all__ = [
     "build_system",
     "compare_schemes",
     "run_mix",
+    "run_sweep",
 ]

@@ -6,13 +6,25 @@ per-core MSA profilers, computes a fresh Bank-aware assignment, installs it
 on the NUCA (replacement-mask enforcement only — resident lines drain
 naturally), and exponentially decays the histograms so the next decision
 tracks phase changes without forgetting instantly.
+
+With a :class:`~repro.resilience.guard.DecisionGuard` attached the
+controller additionally *contains* bad decisions: every histogram it is
+about to trust is health-checked (and optionally filtered through a
+:class:`~repro.resilience.faults.FaultInjector` for failure testing), every
+fresh decision is validated against the hard partitioning invariants, and
+on any violation the last-known-good partition stays installed while the
+guard's degraded-mode ladder (bank-aware → equal-share → frozen) decides
+how aggressively to retreat.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from collections.abc import Sequence
 
 from repro.cache.nuca import NucaL2
+from repro.cache.partition_map import PartitionMap, equal_partition_map
 from repro.partitioning.allocation import (
     decision_to_partition_map,
     vector_to_private_map,
@@ -20,6 +32,9 @@ from repro.partitioning.allocation import (
 from repro.partitioning.bank_aware import bank_aware_partition
 from repro.partitioning.unrestricted import unrestricted_partition
 from repro.profiling.miss_curve import MissCurve
+from repro.resilience.errors import ConfigError, ReproError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.guard import DecisionGuard, DegradedMode
 from repro.sim.stats import EpochRecord
 
 
@@ -30,7 +45,12 @@ class EpochController:
     runs the UCP-lookahead baseline instead, materialised as contiguous
     private way regions (physically unrealistic — it straddles banks in
     arbitrary fractions — which is exactly what makes it the idealised
-    comparison point)."""
+    comparison point).
+
+    ``guard`` enables containment (see module docstring); ``fault_injector``
+    corrupts what the controller reads, for resilience testing.  Both are
+    optional and default to the historical unguarded behaviour.
+    """
 
     def __init__(
         self,
@@ -43,15 +63,21 @@ class EpochController:
         decay: float = 0.5,
         min_observations: int = 1000,
         algorithm: str = "bank-aware",
+        guard: DecisionGuard | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if algorithm not in ("bank-aware", "unrestricted"):
-            raise ValueError("algorithm must be 'bank-aware' or 'unrestricted'")
+            raise ConfigError("algorithm must be 'bank-aware' or 'unrestricted'")
         if epoch_cycles <= 0:
-            raise ValueError("epoch length must be positive")
+            raise ConfigError("epoch length must be positive")
         if not 0.0 <= decay <= 1.0:
-            raise ValueError("decay must be in [0, 1]")
+            raise ConfigError("decay must be in [0, 1]")
         if len(profilers) != len(workload_names):
-            raise ValueError("one profiler per workload required")
+            raise ConfigError("one profiler per workload required")
+        if min_observations < 0:
+            raise ConfigError("min_observations must be non-negative")
+        if max_ways_per_core < 1:
+            raise ConfigError("max_ways_per_core must be at least 1")
         self.l2 = l2
         self.profilers = list(profilers)
         self.names = list(workload_names)
@@ -60,26 +86,32 @@ class EpochController:
         self.decay = decay
         self.min_observations = min_observations
         self.algorithm = algorithm
+        self.guard = guard
+        self.fault_injector = fault_injector
         self.next_epoch = epoch_cycles
+        self.epoch_index = 0  #: boundaries evaluated (fault windows key on it)
         self.history: list[EpochRecord] = []
+        self._equal_installed = False
 
     def due(self, now: float) -> bool:
         return now >= self.next_epoch
 
-    def tick(self, now: float) -> bool:
-        """Repartition if an epoch boundary has passed; returns True when a
-        new partition was installed."""
-        if not self.due(now):
-            return False
-        while self.next_epoch <= now:
-            self.next_epoch += self.epoch_cycles
-        total_observed = sum(float(p.histogram.sum()) for p in self.profilers)
-        if total_observed < self.min_observations:
-            return False  # not enough profile signal yet; keep current map
-        curves = [
-            MissCurve.from_histogram(name, prof.histogram)
-            for name, prof in zip(self.names, self.profilers)
-        ]
+    # -- decision pipeline --------------------------------------------------
+
+    def _read_histograms(self, epoch: int) -> list[np.ndarray]:
+        """The histograms the controller trusts (possibly fault-filtered)."""
+        hists = [p.histogram for p in self.profilers]
+        if self.fault_injector is not None:
+            hists = [
+                self.fault_injector.filter_histogram(core, h, epoch)
+                for core, h in enumerate(hists)
+            ]
+        return hists
+
+    def _decide(
+        self, now: float, curves: list[MissCurve]
+    ) -> tuple[PartitionMap, EpochRecord]:
+        """Compute and invariant-check one fresh partitioning decision."""
         if self.algorithm == "bank-aware":
             decision = bank_aware_partition(
                 curves,
@@ -87,6 +119,10 @@ class EpochController:
                 bank_ways=self.l2.config.bank_ways,
                 max_ways_per_core=self.max_ways_per_core,
             )
+            if self.guard is not None:
+                self.guard.validate_decision(
+                    decision.ways, decision.center_banks, decision.pairs
+                )
             pmap = decision_to_partition_map(
                 decision, num_banks=self.l2.config.num_banks
             )
@@ -97,18 +133,109 @@ class EpochController:
             ways = unrestricted_partition(
                 curves, self.l2.config.num_banks * self.l2.config.bank_ways
             )
+            if self.guard is not None:
+                self.guard.validate_vector(ways)
             pmap = vector_to_private_map(
                 ways,
                 num_banks=self.l2.config.num_banks,
                 bank_ways=self.l2.config.bank_ways,
             )
             record = EpochRecord(now, tuple(ways))
-        self.l2.apply_partition(pmap)
-        self.history.append(record)
+        return pmap, record
+
+    def _apply_degraded(self, mode: DegradedMode) -> None:
+        """Realise a non-NORMAL ladder rung on the cache.
+
+        EQUAL_SHARE installs the paper's Equal-partitions map once per
+        descent (skipped when banks do not divide evenly — the guard then
+        simply holds the last-known-good map); FROZEN touches nothing.
+        """
+        if mode is DegradedMode.EQUAL_SHARE and not self._equal_installed:
+            try:
+                pmap = equal_partition_map(
+                    len(self.profilers),
+                    self.l2.config.num_banks,
+                    self.l2.config.bank_ways,
+                )
+            except ValueError:
+                return
+            self.l2.apply_partition(pmap)
+            self._equal_installed = True
+        elif mode is DegradedMode.NORMAL:
+            self._equal_installed = False
+
+    def _finish_epoch(self) -> None:
         for prof in self.profilers:
             prof.decay(self.decay)
+
+    def tick(self, now: float) -> bool:
+        """Repartition if an epoch boundary has passed; returns True when a
+        new partition was installed."""
+        if not self.due(now):
+            return False
+        while self.next_epoch <= now:
+            self.next_epoch += self.epoch_cycles
+        epoch = self.epoch_index
+        self.epoch_index += 1
+        if self.fault_injector is not None and self.fault_injector.drops_epoch(
+            epoch
+        ):
+            return False  # the boundary never fired: no decision, no decay
+        hists = self._read_histograms(epoch)
+        total_observed = sum(float(np.abs(h).sum()) for h in hists)
+        if total_observed < self.min_observations:
+            return False  # not enough profile signal yet; keep current map
+        if self.guard is None:
+            return self._tick_unguarded(now, hists)
+        return self._tick_guarded(now, hists)
+
+    def _tick_unguarded(self, now: float, hists: list[np.ndarray]) -> bool:
+        curves = [
+            MissCurve.from_histogram(name, h)
+            for name, h in zip(self.names, hists)
+        ]
+        pmap, record = self._decide(now, curves)
+        self.l2.apply_partition(pmap)
+        self.history.append(record)
+        self._finish_epoch()
+        return True
+
+    def _tick_guarded(self, now: float, hists: list[np.ndarray]) -> bool:
+        guard = self.guard
+        assert guard is not None
+        per_core_min = self.min_observations / max(len(self.profilers), 1)
+        try:
+            curves = [
+                guard.checked_curve(
+                    name, core, h, min_observations=per_core_min
+                )
+                for core, (name, h) in enumerate(zip(self.names, hists))
+            ]
+            pmap, record = self._decide(now, curves)
+        except ReproError as error:
+            mode = guard.note_failure(now, error)
+            self._apply_degraded(mode)
+            self._finish_epoch()
+            return False
+        mode = guard.note_healthy(now)
+        if mode is not DegradedMode.NORMAL:
+            # healthy epoch, but hysteresis keeps us on a lower rung —
+            # hold the degraded partition rather than flap.
+            self._apply_degraded(mode)
+            self._finish_epoch()
+            return False
+        self._apply_degraded(mode)
+        self.l2.apply_partition(pmap)
+        guard.record_install(pmap)
+        self.history.append(record)
+        self._finish_epoch()
         return True
 
     @property
     def last_decision(self) -> EpochRecord | None:
         return self.history[-1] if self.history else None
+
+    @property
+    def mode(self) -> DegradedMode:
+        """Current ladder rung (NORMAL when running unguarded)."""
+        return self.guard.mode if self.guard is not None else DegradedMode.NORMAL

@@ -14,9 +14,12 @@ co-runners.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.config import SystemConfig, scaled_config
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.faults import FaultPlan
 from repro.sim.stats import SystemResult
 from repro.sim.system import DETAILED_SCHEMES, CMPSystem
 from repro.util.stats import relative
@@ -59,6 +62,9 @@ class RunSettings:
     #: epoch-to-epoch histogram decay (higher keeps more history, letting
     #: slow workloads with deep pools accumulate stack-distance evidence).
     profiler_decay: float = 0.75
+    #: optional seeded failure scenario injected into the profiler read
+    #: path of dynamic schemes (see :mod:`repro.resilience.faults`).
+    fault_plan: FaultPlan | None = None
 
     @property
     def warmup_cycles(self) -> float:
@@ -103,6 +109,7 @@ def build_system(
         shared_placement=st.shared_placement,
         profiler_kind=st.profiler_kind,
         profiler_decay=st.profiler_decay,
+        fault_plan=st.fault_plan,
     )
     system.set_measurement_window(st.warmup_cycles, st.duration_cycles)
     return system
@@ -154,3 +161,53 @@ def compare_schemes(
         scheme: run_mix(mix, scheme, config, settings) for scheme in schemes
     }
     return SchemeComparison(mix, results)
+
+
+def run_sweep(
+    mixes: Sequence[Mix],
+    config: SystemConfig | None = None,
+    settings: RunSettings | None = None,
+    schemes: tuple[str, ...] = DETAILED_SCHEMES,
+    *,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
+) -> list[SchemeComparison]:
+    """Detailed-simulation sweep over many mixes, resumable mid-run.
+
+    Each completed (mix, all-schemes) comparison is recorded in an atomic
+    JSON checkpoint (see :mod:`repro.resilience.checkpoint`); with
+    ``resume=True`` a killed sweep restarts after its last completed mix and
+    reproduces the uninterrupted sweep exactly, because every mix's
+    simulation is fully determined by (mix, config, settings).
+    """
+    cfg = config or scaled_config()
+    st = settings or RunSettings()
+    meta = {
+        "schemes": list(schemes),
+        "mixes": [list(m.names) for m in mixes],
+        "seed": st.seed,
+        "duration_cycles": st.duration_cycles,
+        "num_cores": cfg.num_cores,
+        "epoch_cycles": cfg.epoch_cycles,
+    }
+    ckpt = SweepCheckpoint(
+        checkpoint_path, "detailed-sweep", meta,
+        every=cfg.resilience.checkpoint_every, resume=resume,
+    )
+    out: list[SchemeComparison] = [
+        SchemeComparison(
+            mixes[i],
+            {s: SystemResult.from_dict(d) for s, d in item.items()},
+        )
+        for i, item in enumerate(ckpt.completed)
+    ]
+    try:
+        for mix in mixes[len(out):]:
+            comp = compare_schemes(mix, cfg, st, schemes)
+            out.append(comp)
+            ckpt.record(
+                {s: r.to_dict() for s, r in comp.results.items()}
+            )
+    finally:
+        ckpt.save()
+    return out

@@ -51,6 +51,48 @@ class SystemResult:
     migrations: int = 0
     writebacks: int = 0
     epochs: list[EpochRecord] = field(default_factory=list)
+    #: decision-guard log of one run: (time, kind, detail, mode) tuples.
+    guard_events: list[tuple[float, str, str, str]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for sweep checkpoints)."""
+        return {
+            "scheme": self.scheme,
+            "cores": [
+                [c.core, c.workload, c.instructions, c.cycles,
+                 c.l2_accesses, c.l2_misses]
+                for c in self.cores
+            ],
+            "migrations": self.migrations,
+            "writebacks": self.writebacks,
+            "epochs": [
+                [e.time, list(e.ways),
+                 list(e.center_banks) if e.center_banks is not None else None,
+                 [list(p) for p in e.pairs] if e.pairs is not None else None]
+                for e in self.epochs
+            ],
+            "guard_events": [list(e) for e in self.guard_events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemResult":
+        """Inverse of :meth:`to_dict` (bit-exact round trip via JSON)."""
+        return cls(
+            scheme=data["scheme"],
+            cores=[CoreResult(*row) for row in data["cores"]],
+            migrations=data["migrations"],
+            writebacks=data["writebacks"],
+            epochs=[
+                EpochRecord(
+                    time,
+                    tuple(ways),
+                    tuple(centers) if centers is not None else None,
+                    tuple(tuple(p) for p in pairs) if pairs is not None else None,
+                )
+                for time, ways, centers, pairs in data["epochs"]
+            ],
+            guard_events=[tuple(e) for e in data.get("guard_events", [])],
+        )
 
     @property
     def total_instructions(self) -> int:

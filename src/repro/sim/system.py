@@ -34,6 +34,8 @@ from repro.noc.contention import ContentionModel
 from repro.noc.latency import LatencyModel
 from repro.profiling.msa import MSAProfiler
 from repro.profiling.sampled import SampledMSAProfiler
+from repro.resilience.faults import FaultPlan
+from repro.resilience.guard import DecisionGuard
 from repro.sim.controller import EpochController
 from repro.sim.stats import CoreResult, SystemResult
 from repro.workloads.synthetic import WorkloadSpec
@@ -61,6 +63,7 @@ class CMPSystem:
         shared_placement: str = "dnuca",
         profiler_kind: str = "sampled",
         profiler_decay: float = 0.5,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         config.validate()
         if scheme not in ALL_SIM_SCHEMES:
@@ -101,6 +104,18 @@ class CMPSystem:
         if scheme in ("bank-aware", "unrestricted"):
             if self.profilers is None:
                 raise ValueError(f"the {scheme} scheme requires profilers")
+            res = config.resilience
+            guard = None
+            if res.guard_enabled:
+                guard = DecisionGuard(
+                    config.num_cores,
+                    num_banks=config.l2.num_banks,
+                    bank_ways=config.l2.bank_ways,
+                    max_ways_per_core=config.max_ways_per_core,
+                    min_ways=res.min_ways,
+                    hysteresis=res.hysteresis_epochs,
+                    degrade_after=res.degrade_after,
+                )
             self.controller = EpochController(
                 self.l2,
                 self.profilers,
@@ -109,6 +124,10 @@ class CMPSystem:
                 max_ways_per_core=config.max_ways_per_core,
                 decay=profiler_decay,
                 algorithm=scheme if scheme != "bank-aware" else "bank-aware",
+                guard=guard,
+                fault_injector=(
+                    fault_plan.injector() if fault_plan is not None else None
+                ),
             )
 
         # flattened trace state for the event loop
@@ -250,4 +269,9 @@ class CMPSystem:
             )
         if self.controller is not None:
             out.epochs = list(self.controller.history)
+            if self.controller.guard is not None:
+                out.guard_events = [
+                    (e.time, e.kind, e.detail, e.mode)
+                    for e in self.controller.guard.events
+                ]
         return out

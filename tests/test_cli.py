@@ -86,6 +86,76 @@ class TestCommands:
         assert "no-partitions" in out and "bank-aware" in out
 
 
+class TestArgumentValidation:
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "--set", "1", "--seed", "-3"],
+        ["simulate", "--set", "1", "--duration", "0"],
+        ["profile", "gzip", "--accesses", "-1"],
+        ["montecarlo", "--mixes", "0"],
+    ])
+    def test_non_positive_values_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(argv)
+        assert info.value.code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_bad_fault_spec_is_clean_error(self, capsys):
+        rc = main(["partition", "--set", "1", "--scale", "32",
+                   "--accesses", "6000", "--inject-faults", "0:typo"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFaultInjection:
+    def test_partition_with_faults_falls_back(self, capsys):
+        assert main(
+            ["partition", "--set", "1", "--scale", "32", "--accesses", "6000",
+             "--inject-faults", "0:zero", "--fault-seed", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "guard log" in out
+        assert "equal shares" in out
+
+    def test_simulate_with_faults_reports_guard(self, capsys):
+        assert main(
+            ["simulate", "--set", "2", "--scale", "32", "--epoch", "100000",
+             "--duration", "400000", "--scheme", "bank-aware",
+             "--inject-faults", "1:degenerate@1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "guard log" in out
+        assert "fault" in out
+
+
+class TestMonteCarloCommand:
+    ARGS = ["montecarlo", "--scale", "32", "--mixes", "5",
+            "--accesses", "6000", "--seed", "9"]
+
+    def test_runs(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Bank-aware" in out
+
+    def test_checkpoint_and_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "mc.json")
+        assert main(self.ARGS + ["--checkpoint", path]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--checkpoint", path, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[:8] == second.splitlines()[:8]
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="requires"):
+            main(self.ARGS + ["--resume"])
+
+    def test_corrupt_checkpoint_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "mc.json"
+        path.write_text("{not json")
+        rc = main(self.ARGS + ["--checkpoint", str(path), "--resume"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestCurveCaching:
     def test_profile_save_then_partition_load(self, tmp_path, capsys):
         path = str(tmp_path / "curves.npz")

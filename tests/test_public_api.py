@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.noc",
     "repro.partitioning",
     "repro.profiling",
+    "repro.resilience",
     "repro.sim",
     "repro.util",
     "repro.workloads",
