@@ -34,9 +34,9 @@ def test_fig4_aggregation_schemes(benchmark):
     by = {o.scheme: o for o in outcomes}
     assert by["cascade"].miss_rate == pytest.approx(by["ideal"].miss_rate)
     assert by["cascade"].migrations_per_access > 0.5  # prohibitive
-    assert by["hash"].migrations_per_access == 0.0
-    assert by["parallel"].migrations_per_access == 0.0
-    assert by["parallel"].directory_probes_per_access == 4.0
+    assert by["hash"].migrations_per_access == pytest.approx(0.0)
+    assert by["parallel"].migrations_per_access == pytest.approx(0.0)
+    assert by["parallel"].directory_probes_per_access == pytest.approx(4.0)
     # fidelity loss of the realisable schemes stays modest
     assert by["hash"].miss_rate < by["ideal"].miss_rate * 1.35
     assert by["parallel"].miss_rate < by["ideal"].miss_rate * 1.35

@@ -8,6 +8,7 @@ output (run pytest with ``-s`` to see them).
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from pathlib import Path
 
 
 def format_table(
@@ -69,7 +70,7 @@ def miss_curve_rows(
 
 
 def write_csv(
-    path,
+    path: str | Path,
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],
 ) -> None:

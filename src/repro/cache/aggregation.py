@@ -28,6 +28,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro.cache.cacheset import CacheSet
+from repro.resilience.errors import SimulationInvariantError
 
 
 @dataclass
@@ -183,7 +184,11 @@ class ParallelAggregation(AggregatedCache):
         si = self.set_index(line)
         if home is not None:
             hit = self._banks[home][si].lookup(line)
-            assert hit is not None
+            if hit is None:
+                raise SimulationInvariantError(
+                    f"directory says line {line} is in bank {home}, but the "
+                    f"set lookup missed"
+                )
             return True
         bank = self._rr % self.num_banks
         self._rr += 1

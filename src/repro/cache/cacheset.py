@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import NamedTuple
 
 from repro.cache.replacement import make_policy
+from repro.resilience.errors import SimulationInvariantError
 
 
 class Eviction(NamedTuple):
@@ -129,7 +130,11 @@ class CacheSet:
             if best_stamp is None or stamp < best_stamp:
                 best_stamp = stamp
                 way = cand
-        assert way is not None
+        if way is None:
+            raise SimulationInvariantError(
+                f"replacement selected no victim among candidate ways "
+                f"{candidates} (non-empty by precondition)"
+            )
         if self.policy is not None and tags[way] is not None:
             way = self.policy.victim(candidates)
         evicted = None

@@ -9,6 +9,7 @@ Gives downstream users the paper's pipeline without writing Python:
 * ``montecarlo`` — analytic sweep over random mixes, checkpoint/resumable.
 * ``suite``      — list the 26 SPEC-like workload models.
 * ``machine``    — print the (scaled) Table I machine description.
+* ``lint``       — run the repository's domain-aware static analysis.
 
 Examples::
 
@@ -16,7 +17,9 @@ Examples::
     python -m repro partition crafty gap mcf art equake equake bzip2 equake
     python -m repro compare --set 2 --duration 4000000
     python -m repro compare --set 2 --inject-faults '0:zero@1,3:corrupt@2'
+    python -m repro simulate --set 1 --sanitize
     python -m repro montecarlo --mixes 1000 --checkpoint mc.json --resume
+    python -m repro lint src benchmarks examples --format json
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.analysis import (
     collect_profiles,
@@ -32,6 +36,14 @@ from repro.analysis import (
     table1_rows,
 )
 from repro.config import SystemConfig, scaled_config
+from repro.lint import (
+    LintConfigError,
+    lint_paths,
+    load_config,
+    render_json,
+    render_rules,
+    render_text,
+)
 from repro.partitioning import (
     bank_aware_partition,
     predicted_misses,
@@ -100,6 +112,15 @@ def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
     if not getattr(args, "inject_faults", None):
         return None
     return FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
+
+
+def _add_sanitize_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--sanitize", action="store_true",
+        help="deep runtime invariant checking (LRU-stack uniqueness, way "
+             "conservation, MSA mass, Rules 1-3 post-aggregation); "
+             "violations abort the run with a SanitizerViolation",
+    )
 
 
 def _resolve_mix(args: argparse.Namespace, num_cores: int) -> Mix:
@@ -272,7 +293,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     cfg = _machine(args)
     mix = _resolve_mix(args, cfg.num_cores)
     settings = RunSettings(duration_cycles=args.duration, seed=args.seed,
-                           fault_plan=_fault_plan(args))
+                           fault_plan=_fault_plan(args),
+                           sanitize=args.sanitize)
     result = run_mix(mix, args.scheme, cfg, settings)
     rows = [
         (c.core, c.workload, c.l2_accesses, f"{c.miss_rate:.3f}",
@@ -295,7 +317,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     cfg = _machine(args)
     mix = _resolve_mix(args, cfg.num_cores)
     settings = RunSettings(duration_cycles=args.duration, seed=args.seed,
-                           fault_plan=_fault_plan(args))
+                           fault_plan=_fault_plan(args),
+                           sanitize=args.sanitize)
     comp = compare_schemes(mix, cfg, settings)
     rows = []
     for scheme in comp.results:
@@ -313,6 +336,23 @@ def cmd_compare(args: argparse.Namespace) -> int:
             print(f"\n[{scheme}]", end="")
             _print_guard_events(result.guard_events)
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    try:
+        config = load_config(Path(args.config) if args.config else None)
+    except LintConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = lint_paths(args.paths, config)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
 
 
 def cmd_montecarlo(args: argparse.Namespace) -> int:
@@ -395,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--duration", type=_positive_float, default=4_000_000)
         p.add_argument("--seed", type=_positive_int, default=7)
         _add_fault_args(p)
+        _add_sanitize_arg(p)
         _add_machine_args(p)
         p.set_defaults(fn=fn)
 
@@ -413,6 +454,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="continue from an existing --checkpoint snapshot")
     _add_machine_args(p)
     p.set_defaults(fn=cmd_montecarlo)
+
+    p = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis (determinism, float equality, "
+             "partition invariants, API hygiene)",
+    )
+    p.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                   help="files or directories to check (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--config", metavar="PYPROJECT",
+                   help="explicit pyproject.toml (default: walk up from cwd)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="describe every rule and exit")
+    p.set_defaults(fn=cmd_lint)
 
     return parser
 

@@ -165,6 +165,11 @@ class ResilienceConfig:
     min_ways: int = 1
     #: completed sweep items between checkpoint snapshots.
     checkpoint_every: int = 25
+    #: deep runtime invariant checking (LRU-stack uniqueness, way
+    #: conservation, MSA mass, Rules 1-3 post-aggregation).  Expensive;
+    #: violations raise :class:`~repro.resilience.errors.SanitizerViolation`
+    #: and are never contained by the guard.
+    sanitize: bool = False
 
     def validate(self) -> None:
         if self.hysteresis_epochs < 1:

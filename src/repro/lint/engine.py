@@ -1,0 +1,136 @@
+"""The lint engine: file discovery, suppression handling, rule dispatch.
+
+Suppressions are inline comments on the flagged line::
+
+    rng = np.random.default_rng()  # repro-lint: disable=DET001
+    x = compute()                  # repro-lint: disable=FP001,API001
+    y = legacy()                   # repro-lint: disable=all
+
+Comments are located with :mod:`tokenize`, so the directive is never
+confused with string contents.  A finding is suppressed only by a directive
+on its own line — blanket file-level opt-outs are deliberately unsupported;
+exclude the file in ``[tool.repro-lint]`` instead if it truly is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, LintResult
+from repro.lint.rules import RULES, FileContext
+
+#: rule id reserved for files the engine cannot parse.
+PARSE_RULE = "PARSE001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+|all)\s*$"
+)
+
+
+def collect_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids disabled on that line (``{'all'}`` for a
+    blanket line suppression)."""
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",")}
+            suppressions.setdefault(token.start[0], set()).update(
+                i for i in ids if i
+            )
+    except tokenize.TokenError:
+        # Unterminated constructs: the ast parse will report the real error.
+        pass
+    return suppressions
+
+
+def _suppressed(
+    finding_line: int, rule_id: str, suppressions: dict[int, set[str]]
+) -> bool:
+    active = suppressions.get(finding_line, ())
+    return rule_id in active or "all" in active
+
+
+def lint_source(source: str, path: str, config: LintConfig) -> list[Finding]:
+    """Lint one already-read source blob (the unit the tests target)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                column=(exc.offset or 1) - 1,
+                rule=PARSE_RULE,
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressions = collect_suppressions(source)
+    ctx = FileContext(path=path, config=config)
+    findings: list[Finding] = []
+    for rule in RULES.values():
+        if not config.rule_enabled(rule.id):
+            continue
+        severity = config.severity_of(rule.id, rule.default_severity)
+        for line, column, message in rule.check(tree, ctx):
+            if _suppressed(line, rule.id, suppressions):
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    column=column,
+                    rule=rule.id,
+                    severity=severity,
+                    message=message,
+                )
+            )
+    return sorted(findings)
+
+
+def iter_python_files(
+    paths: list[str], config: LintConfig
+) -> list[Path]:
+    """Expand the command-line path operands into the files to lint."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates = [root]
+        elif root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for path in candidates:
+            posix = path.as_posix()
+            if any(fragment in posix for fragment in config.exclude):
+                continue
+            if path not in seen:
+                seen.add(path)
+                out.append(path)
+    return out
+
+
+def lint_paths(paths: list[str], config: LintConfig) -> LintResult:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    files = iter_python_files(paths, config)
+    for path in files:
+        findings.extend(
+            lint_source(
+                path.read_text(encoding="utf-8"), path.as_posix(), config
+            )
+        )
+    return LintResult(findings=tuple(sorted(findings)), files_checked=len(files))

@@ -157,7 +157,11 @@ class Trace:
         )
 
     @staticmethod
-    def from_lines(lines, is_write=None, gap: int = 0) -> "Trace":
+    def from_lines(
+        lines: np.typing.ArrayLike,
+        is_write: np.typing.ArrayLike | None = None,
+        gap: int = 0,
+    ) -> "Trace":
         """Build a trace from cache-line numbers with a constant gap."""
         lines = np.asarray(lines, dtype=np.uint64)
         addrs = lines << np.uint64(LINE_SHIFT)

@@ -103,7 +103,11 @@ def _best_pair_split(
         misses = curve_a.misses_at(wa) + curve_b.misses_at(pair_capacity - wa)
         if best is None or misses < best[2]:
             best = (wa, pair_capacity - wa, misses)
-    assert best is not None
+    if best is None:
+        raise PartitionInvariantError(
+            f"no feasible split of {pair_capacity} shared ways with a "
+            f"{min_ways}-way floor per core"
+        )
     return best
 
 
@@ -189,7 +193,11 @@ def bank_aware_partition(
             if best_split is None or misses < best_split[2]:
                 best_split = (wa, wb, misses)
                 best_partner = p
-        assert best_split is not None
+        if best_split is None:
+            raise PartitionInvariantError(
+                f"core {best_core} has adjacent candidates {candidates} but "
+                "no pair split was evaluated"
+            )
         a, b = min(best_core, best_partner), max(best_core, best_partner)
         alloc[a], alloc[b] = best_split[0], best_split[1]
         complete[a] = complete[b] = True
@@ -201,5 +209,9 @@ def bank_aware_partition(
         pairs=tuple(sorted(pairs)),
         bank_ways=bank_ways,
     )
-    assert decision.total_ways == total_ways
+    if decision.total_ways != total_ways:
+        raise PartitionInvariantError(
+            f"assignment sums to {decision.total_ways} ways, machine has "
+            f"{total_ways} (way conservation broken)"
+        )
     return decision

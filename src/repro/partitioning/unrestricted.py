@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.profiling.miss_curve import MissCurve
+from repro.resilience.errors import PartitionInvariantError
 
 
 def unrestricted_partition(
@@ -81,7 +82,11 @@ def unrestricted_partition(
             break
         alloc[best_core] += best_extra
         remaining -= best_extra
-    assert sum(alloc) == total_ways
+    if sum(alloc) != total_ways:
+        raise PartitionInvariantError(
+            f"lookahead allocation sums to {sum(alloc)} ways, machine has "
+            f"{total_ways} (way conservation broken)"
+        )
     return alloc
 
 

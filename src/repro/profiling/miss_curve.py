@@ -15,6 +15,7 @@ even inside the 1000-mix Monte Carlo harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -95,13 +96,13 @@ class MissCurve:
         return MissCurve(name, total - hits_cum, total)
 
     @staticmethod
-    def from_profiler(profiler, name: str | None = None) -> "MissCurve":
+    def from_profiler(profiler: object, name: str | None = None) -> "MissCurve":
         """Build a curve from any profiler exposing ``histogram``."""
         label = name if name is not None else getattr(profiler, "name", "curve")
         return MissCurve.from_histogram(label, profiler.histogram)
 
 
-def save_curves(path, curves: dict[str, MissCurve]) -> None:
+def save_curves(path: str | Path, curves: dict[str, MissCurve]) -> None:
     """Persist a set of miss curves to one ``.npz`` file.
 
     Profiling the whole suite is the slow step of the analytic experiments;
@@ -114,7 +115,7 @@ def save_curves(path, curves: dict[str, MissCurve]) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_curves(path) -> dict[str, MissCurve]:
+def load_curves(path: str | Path) -> dict[str, MissCurve]:
     """Load curves written by :func:`save_curves`."""
     out: dict[str, MissCurve] = {}
     with np.load(path) as data:

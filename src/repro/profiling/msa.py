@@ -14,6 +14,8 @@ hardware-feasible version with partial tags and set sampling lives in
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
 
 from repro.util.bits import is_pow2
@@ -41,6 +43,9 @@ class MSAProfiler:
         self._set_mask = num_sets - 1
         self._stacks: list[list[int]] = [[] for _ in range(num_sets)]
         self._counters = np.zeros(positions + 1, dtype=np.float64)
+        #: mass ledger: observations recorded, aged exactly like the
+        #: counters, so counter mass is checkable at any time (sanitizer).
+        self._mass = 0.0
 
     # -- observation --------------------------------------------------------
 
@@ -61,9 +66,10 @@ class MSAProfiler:
         if len(stack) > self.positions:
             stack.pop()
         self._counters[depth - 1] += 1
+        self._mass += 1.0
         return depth
 
-    def observe_many(self, lines) -> None:
+    def observe_many(self, lines: Iterable[int]) -> None:
         """Observe an iterable of line numbers (convenience for traces)."""
         for line in lines:
             self.observe(int(line))
@@ -78,6 +84,12 @@ class MSAProfiler:
     @property
     def total_accesses(self) -> float:
         return float(self._counters.sum())
+
+    @property
+    def expected_mass(self) -> float:
+        """What the counters *should* sum to, tracked independently of them
+        (observations accumulate it, :meth:`decay`/:meth:`reset` age it)."""
+        return self._mass
 
     def hit_counts(self) -> np.ndarray:
         """Hits at each stack depth 1..K (excludes the miss counter)."""
@@ -108,6 +120,7 @@ class MSAProfiler:
     def reset(self) -> None:
         """Clear counters (stack state is kept: the cache does not forget)."""
         self._counters[:] = 0.0
+        self._mass = 0.0
 
     def decay(self, factor: float = 0.5) -> None:
         """Exponentially age the counters between epochs so the dynamic
@@ -115,6 +128,7 @@ class MSAProfiler:
         if not 0.0 <= factor <= 1.0:
             raise ValueError("decay factor must be in [0, 1]")
         self._counters *= factor
+        self._mass *= factor
 
     def stack_of_set(self, set_index: int) -> list[int]:
         """MRU->LRU line numbers tracked for one set (for tests)."""

@@ -18,6 +18,8 @@ The paper reports the combined error within 5 % of a full-tag profile; the
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
 
 from repro.profiling.msa import MSAProfiler
@@ -62,6 +64,8 @@ class SampledMSAProfiler:
         self._stacks: list[list[int]] = [[] for _ in range(self.sampled_sets)]
         self._counters = np.zeros(positions + 1, dtype=np.float64)
         self.observed = 0  #: raw (unscaled) sampled references
+        #: mass ledger: sampled observations aged exactly like the counters.
+        self._mass = 0.0
 
     def set_index(self, line: int) -> int:
         return line & self._set_mask
@@ -104,9 +108,10 @@ class SampledMSAProfiler:
         if len(stack) > self.positions:
             stack.pop()
         self._counters[depth - 1] += 1
+        self._mass += 1.0
         return depth
 
-    def observe_many(self, lines) -> None:
+    def observe_many(self, lines: Iterable[int]) -> None:
         for line in lines:
             self.observe(int(line))
 
@@ -125,6 +130,12 @@ class SampledMSAProfiler:
     def total_accesses(self) -> float:
         return float(self.histogram.sum())
 
+    @property
+    def expected_mass(self) -> float:
+        """What the *raw* counters should sum to (see
+        :attr:`repro.profiling.msa.MSAProfiler.expected_mass`)."""
+        return self._mass
+
     def miss_counts(self) -> np.ndarray:
         hits_cum = np.concatenate(([0.0], np.cumsum(self.histogram[:-1])))
         return self.total_accesses - hits_cum
@@ -142,11 +153,13 @@ class SampledMSAProfiler:
 
     def reset(self) -> None:
         self._counters[:] = 0.0
+        self._mass = 0.0
 
     def decay(self, factor: float = 0.5) -> None:
         if not 0.0 <= factor <= 1.0:
             raise ValueError("decay factor must be in [0, 1]")
         self._counters *= factor
+        self._mass *= factor
 
 
 def profile_error(

@@ -20,6 +20,8 @@ from repro.resilience.errors import (
     PartitionInvariantError,
     ProfilerFault,
     ReproError,
+    SanitizerViolation,
+    SimulationInvariantError,
 )
 from repro.resilience.faults import (
     ANY_CORE,
@@ -34,6 +36,7 @@ from repro.resilience.guard import (
     DegradedMode,
     GuardEvent,
 )
+from repro.resilience.sanitizer import ReproSanitizer
 
 __all__ = [
     "ANY_CORE",
@@ -50,6 +53,9 @@ __all__ = [
     "PartitionInvariantError",
     "ProfilerFault",
     "ReproError",
+    "ReproSanitizer",
+    "SanitizerViolation",
+    "SimulationInvariantError",
     "SweepCheckpoint",
     "load_checkpoint",
     "save_checkpoint",

@@ -18,6 +18,8 @@ __all__ = [
     "PartitionInvariantError",
     "ProfilerFault",
     "ReproError",
+    "SanitizerViolation",
+    "SimulationInvariantError",
 ]
 
 
@@ -53,3 +55,45 @@ class PartitionInvariantError(ReproError, ValueError):
 
 class CheckpointCorrupt(ReproError):
     """A sweep checkpoint file failed parsing or integrity validation."""
+
+
+class SimulationInvariantError(ReproError):
+    """Simulator state violated an internal should-be-impossible invariant.
+
+    Replaces load-bearing ``assert`` statements on library paths (a
+    directory entry pointing at a bank that does not hold the line, a
+    replacement pass selecting no victim), so the checks survive
+    ``python -O`` and carry context when they fire.
+    """
+
+
+class SanitizerViolation(ReproError):
+    """A deep sanitizer check failed (see :mod:`repro.resilience.sanitizer`).
+
+    Unlike the guard — which *contains* bad decisions and keeps running —
+    the sanitizer is a debugging mode: a violation always propagates, with
+    enough context (check name, bank/set/core) to localise the corruption.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        check: str | None = None,
+        core: int | None = None,
+        bank: int | None = None,
+        set_index: int | None = None,
+    ) -> None:
+        where = ", ".join(
+            f"{key}={value}"
+            for key, value in (
+                ("check", check), ("core", core),
+                ("bank", bank), ("set", set_index),
+            )
+            if value is not None
+        )
+        super().__init__(f"sanitizer: {message}" + (f" [{where}]" if where else ""))
+        self.check = check
+        self.core = core
+        self.bank = bank
+        self.set_index = set_index

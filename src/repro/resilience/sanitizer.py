@@ -1,0 +1,299 @@
+"""Deep runtime invariant checking (the ``--sanitize`` mode).
+
+Static analysis (:mod:`repro.lint`) proves the *code* routes decisions and
+randomness through the right choke points; the sanitizer proves the
+*running state* stays sound.  When enabled it instruments cache sets and
+epoch installs with checks far too expensive for production runs:
+
+* **LRU-stack uniqueness** — every cache set's tag map, tag array and
+  recency stamps are mutually consistent and free of duplicates;
+* **way conservation** — an installed :class:`PartitionMap` claims every
+  bank way exactly once, and the banks' vertical ownership masks agree
+  with it way for way;
+* **MSA mass conservation** — each profiler's histogram mass equals its
+  independently-tracked observation ledger, and the histogram the epoch
+  controller is about to *trust* (possibly fault-filtered) carries the
+  same mass the profiler actually recorded;
+* **Rules 1–3 post-aggregation** — after a Bank-aware decision is
+  materialised onto physical banks, the realised map still honours whole
+  Center banks, Local-bank completeness and adjacent-only sharing.
+
+Every failure raises :class:`~repro.resilience.errors.SanitizerViolation`
+(a :class:`~repro.resilience.errors.ReproError`) with full context.
+Unlike the :class:`~repro.resilience.guard.DecisionGuard`, the sanitizer
+never contains: a violation is a bug (or an injected fault surfacing), and
+the run must stop loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.resilience.errors import (
+    PartitionInvariantError,
+    SanitizerViolation,
+)
+
+if TYPE_CHECKING:  # heavy imports for annotations only
+    from repro.cache.bank import CacheBank
+    from repro.cache.cacheset import CacheSet
+    from repro.cache.nuca import NucaL2
+    from repro.cache.partition_map import PartitionMap
+    from repro.partitioning.bank_aware import BankAwareDecision
+
+
+class ReproSanitizer:
+    """Stateful deep checker; one instance per instrumented run.
+
+    ``checks_run`` counts individual check invocations so tests (and
+    curious users) can confirm the instrumentation actually executed.
+    """
+
+    def __init__(self, *, rel_tolerance: float = 1e-6) -> None:
+        if rel_tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.rel_tolerance = rel_tolerance
+        self.checks_run = 0
+
+    # -- cache-set integrity -------------------------------------------------
+
+    def check_set(
+        self,
+        cset: CacheSet,
+        *,
+        bank: int | None = None,
+        set_index: int | None = None,
+    ) -> None:
+        """LRU-stack uniqueness and tag-map consistency of one set."""
+        self.checks_run += 1
+        tags = cset._tags
+        resident = [t for t in tags if t is not None]
+        if len(set(resident)) != len(resident):
+            raise SanitizerViolation(
+                "duplicate tag in a cache set (a line resident twice)",
+                check="lru-uniqueness", bank=bank, set_index=set_index,
+            )
+        if len(cset._map) != len(resident):
+            raise SanitizerViolation(
+                f"tag map tracks {len(cset._map)} lines, ways hold "
+                f"{len(resident)}",
+                check="tag-map", bank=bank, set_index=set_index,
+            )
+        for tag, way in cset._map.items():
+            if tags[way] != tag:
+                raise SanitizerViolation(
+                    f"tag map points line {tag} at way {way}, which holds "
+                    f"{tags[way]!r}",
+                    check="tag-map", bank=bank, set_index=set_index,
+                )
+        occupied_stamps = [
+            cset._stamps[w] for w, t in enumerate(tags) if t is not None
+        ]
+        if any(s <= 0 for s in occupied_stamps):
+            raise SanitizerViolation(
+                "occupied way with a never-touched recency stamp",
+                check="lru-uniqueness", bank=bank, set_index=set_index,
+            )
+        if len(set(occupied_stamps)) != len(occupied_stamps):
+            raise SanitizerViolation(
+                "two occupied ways share a recency stamp (ambiguous LRU "
+                "victim)",
+                check="lru-uniqueness", bank=bank, set_index=set_index,
+            )
+
+    def check_bank(self, bank: CacheBank) -> None:
+        """Set integrity plus ownership-mask shape of one bank."""
+        self.checks_run += 1
+        owners = bank.way_owners()
+        if len(owners) != bank.ways:
+            raise SanitizerViolation(
+                f"bank has {bank.ways} ways but {len(owners)} owner entries",
+                check="way-conservation", bank=bank.bank_id,
+            )
+        for set_index, cset in enumerate(bank.sets):
+            self.check_set(cset, bank=bank.bank_id, set_index=set_index)
+
+    # -- partition invariants ------------------------------------------------
+
+    def check_partition_map(
+        self, pmap: PartitionMap, num_banks: int, bank_ways: int
+    ) -> None:
+        """Way conservation: every way claimed exactly once, full coverage."""
+        self.checks_run += 1
+        try:
+            pmap.validate(num_banks, bank_ways)
+        except PartitionInvariantError as exc:
+            raise SanitizerViolation(
+                f"partition map fails physical validation: {exc}",
+                check="way-conservation",
+            ) from exc
+        claimed = sum(p.total_ways for p in pmap.partitions.values())
+        total = num_banks * bank_ways
+        if claimed != total:
+            raise SanitizerViolation(
+                f"partition map claims {claimed} ways, machine has {total} "
+                "(capacity leak)",
+                check="way-conservation",
+            )
+
+    def check_installation(self, l2: NucaL2) -> None:
+        """Installed state: ownership masks match the map, the directory
+        matches residency, every set is internally consistent."""
+        self.checks_run += 1
+        pmap = l2.partition_map
+        if pmap is not None:
+            self.check_partition_map(
+                pmap, l2.config.num_banks, l2.config.bank_ways
+            )
+            for core, part in pmap.partitions.items():
+                for alloc in part.allocations():
+                    owners = l2.banks[alloc.bank].way_owners()
+                    for way in alloc.ways:
+                        if owners[way] != frozenset((core,)):
+                            raise SanitizerViolation(
+                                f"way {way} is mapped to core {core} but the "
+                                f"bank mask says {owners[way]!r}",
+                                check="way-conservation",
+                                core=core, bank=alloc.bank,
+                            )
+        for bank in l2.banks:
+            self.check_bank(bank)
+        if l2.mode == "shared" and l2.placement == "hash":
+            return  # hash-shared mode keeps no directory to cross-check
+        directory = l2._where
+        resident: dict[int, int] = {}
+        for bank in l2.banks:
+            for line in bank.resident_lines():
+                resident[line] = bank.bank_id
+        if len(resident) != len(directory):
+            raise SanitizerViolation(
+                f"directory tracks {len(directory)} lines, banks hold "
+                f"{len(resident)}",
+                check="directory",
+            )
+        for line, bank_id in directory.items():
+            if resident.get(line) != bank_id:
+                raise SanitizerViolation(
+                    f"directory places line {line} in bank {bank_id}, "
+                    f"found in {resident.get(line)}",
+                    check="directory", bank=bank_id,
+                )
+
+    def check_decision_realization(
+        self, decision: BankAwareDecision, pmap: PartitionMap
+    ) -> None:
+        """Rules 1–3 re-verified *after* aggregation onto physical banks."""
+        self.checks_run += 1
+        n = len(decision.ways)
+        vector = pmap.way_vector()
+        for core in range(n):
+            if vector.get(core) != decision.ways[core]:
+                raise SanitizerViolation(
+                    f"decision grants {decision.ways[core]} ways, realised "
+                    f"map holds {vector.get(core)}",
+                    check="realization", core=core,
+                )
+        paired = {c: pair for pair in decision.pairs for c in pair}
+        bank_ways = decision.bank_ways
+        for core in range(n):
+            part = pmap[core]
+            if decision.center_banks[core]:
+                allocs = part.allocations()
+                if any(a.num_ways != bank_ways for a in allocs):
+                    raise SanitizerViolation(
+                        "Rule 1: a Center-bank core holds a partial bank",
+                        check="realization", core=core,
+                    )
+                if core not in {a.bank for a in allocs}:
+                    raise SanitizerViolation(
+                        "Rule 2: a Center-bank core lost its Local bank",
+                        check="realization", core=core,
+                    )
+                if len(allocs) != 1 + decision.center_banks[core]:
+                    raise SanitizerViolation(
+                        f"core owns {len(allocs)} banks, decision says "
+                        f"{1 + decision.center_banks[core]}",
+                        check="realization", core=core,
+                    )
+            elif core in paired:
+                if not {a.bank for a in part.allocations()} <= set(paired[core]):
+                    raise SanitizerViolation(
+                        "Rule 3: a paired core spilled outside the pair's "
+                        "two Local banks",
+                        check="realization", core=core,
+                    )
+            else:
+                allocs = part.allocations()
+                if len(allocs) != 1 or allocs[0].bank != core or (
+                    allocs[0].num_ways != bank_ways
+                ):
+                    raise SanitizerViolation(
+                        "an unpaired, Center-less core must own exactly its "
+                        "Local bank",
+                        check="realization", core=core,
+                    )
+
+    # -- profiler mass conservation ------------------------------------------
+
+    def _masses_differ(self, a: float, b: float) -> bool:
+        return not math.isclose(
+            a, b, rel_tol=self.rel_tolerance, abs_tol=self.rel_tolerance
+        )
+
+    def check_profiler(self, profiler: object, *, core: int | None = None) -> None:
+        """Histogram mass equals the profiler's own observation ledger."""
+        self.checks_run += 1
+        ledger = getattr(profiler, "expected_mass", None)
+        if ledger is None:
+            return  # a custom profiler without a ledger: nothing to check
+        raw = getattr(profiler, "raw_histogram", None)
+        counters = raw if raw is not None else profiler.histogram
+        mass = float(np.asarray(counters, dtype=np.float64).sum())
+        if self._masses_differ(mass, float(ledger)):
+            raise SanitizerViolation(
+                f"histogram mass {mass:.6g} diverged from the observation "
+                f"ledger {float(ledger):.6g}",
+                check="msa-mass", core=core,
+            )
+
+    def check_trusted_histogram(
+        self,
+        profiler: object,
+        trusted: np.ndarray,
+        *,
+        core: int | None = None,
+    ) -> None:
+        """The histogram a decision is about to trust carries the mass the
+        profiler actually recorded (catches corruption between the two)."""
+        self.checks_run += 1
+        seen = np.asarray(trusted, dtype=np.float64)
+        if not np.all(np.isfinite(seen)):
+            raise SanitizerViolation(
+                "non-finite counters in the trusted histogram",
+                check="msa-mass", core=core,
+            )
+        truth = float(np.asarray(profiler.histogram, dtype=np.float64).sum())
+        if self._masses_differ(float(seen.sum()), truth):
+            raise SanitizerViolation(
+                f"trusted histogram mass {float(seen.sum()):.6g} != profiler "
+                f"mass {truth:.6g} (counters tampered between read and "
+                "decision)",
+                check="msa-mass", core=core,
+            )
+
+    # -- composite hooks -----------------------------------------------------
+
+    def check_epoch_install(
+        self,
+        l2: NucaL2,
+        pmap: PartitionMap,
+        decision: BankAwareDecision | None = None,
+    ) -> None:
+        """Everything worth checking right after an epoch install."""
+        self.check_partition_map(pmap, l2.config.num_banks, l2.config.bank_ways)
+        if decision is not None:
+            self.check_decision_realization(decision, pmap)
+        self.check_installation(l2)

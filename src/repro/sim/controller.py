@@ -29,12 +29,13 @@ from repro.partitioning.allocation import (
     decision_to_partition_map,
     vector_to_private_map,
 )
-from repro.partitioning.bank_aware import bank_aware_partition
+from repro.partitioning.bank_aware import BankAwareDecision, bank_aware_partition
 from repro.partitioning.unrestricted import unrestricted_partition
 from repro.profiling.miss_curve import MissCurve
 from repro.resilience.errors import ConfigError, ReproError
 from repro.resilience.faults import FaultInjector
 from repro.resilience.guard import DecisionGuard, DegradedMode
+from repro.resilience.sanitizer import ReproSanitizer
 from repro.sim.stats import EpochRecord
 
 
@@ -65,6 +66,7 @@ class EpochController:
         algorithm: str = "bank-aware",
         guard: DecisionGuard | None = None,
         fault_injector: FaultInjector | None = None,
+        sanitizer: ReproSanitizer | None = None,
     ) -> None:
         if algorithm not in ("bank-aware", "unrestricted"):
             raise ConfigError("algorithm must be 'bank-aware' or 'unrestricted'")
@@ -88,6 +90,7 @@ class EpochController:
         self.algorithm = algorithm
         self.guard = guard
         self.fault_injector = fault_injector
+        self.sanitizer = sanitizer
         self.next_epoch = epoch_cycles
         self.epoch_index = 0  #: boundaries evaluated (fault windows key on it)
         self.history: list[EpochRecord] = []
@@ -110,7 +113,7 @@ class EpochController:
 
     def _decide(
         self, now: float, curves: list[MissCurve]
-    ) -> tuple[PartitionMap, EpochRecord]:
+    ) -> tuple[PartitionMap, EpochRecord, BankAwareDecision | None]:
         """Compute and invariant-check one fresh partitioning decision."""
         if self.algorithm == "bank-aware":
             decision = bank_aware_partition(
@@ -129,19 +132,18 @@ class EpochController:
             record = EpochRecord(
                 now, decision.ways, decision.center_banks, decision.pairs
             )
-        else:
-            ways = unrestricted_partition(
-                curves, self.l2.config.num_banks * self.l2.config.bank_ways
-            )
-            if self.guard is not None:
-                self.guard.validate_vector(ways)
-            pmap = vector_to_private_map(
-                ways,
-                num_banks=self.l2.config.num_banks,
-                bank_ways=self.l2.config.bank_ways,
-            )
-            record = EpochRecord(now, tuple(ways))
-        return pmap, record
+            return pmap, record, decision
+        ways = unrestricted_partition(
+            curves, self.l2.config.num_banks * self.l2.config.bank_ways
+        )
+        if self.guard is not None:
+            self.guard.validate_vector(ways)
+        pmap = vector_to_private_map(
+            ways,
+            num_banks=self.l2.config.num_banks,
+            bank_ways=self.l2.config.bank_ways,
+        )
+        return pmap, EpochRecord(now, tuple(ways)), None
 
     def _apply_degraded(self, mode: DegradedMode) -> None:
         """Realise a non-NORMAL ladder rung on the cache.
@@ -160,6 +162,8 @@ class EpochController:
             except ValueError:
                 return
             self.l2.apply_partition(pmap)
+            if self.sanitizer is not None:
+                self.sanitizer.check_epoch_install(self.l2, pmap)
             self._equal_installed = True
         elif mode is DegradedMode.NORMAL:
             self._equal_installed = False
@@ -182,27 +186,35 @@ class EpochController:
         ):
             return False  # the boundary never fired: no decision, no decay
         hists = self._read_histograms(epoch)
+        if self.sanitizer is not None:
+            # Mass conservation runs OUTSIDE guard containment on purpose:
+            # a tampered histogram must stop the run, not degrade it.
+            for core, (prof, hist) in enumerate(zip(self.profilers, hists)):
+                self.sanitizer.check_profiler(prof, core=core)
+                self.sanitizer.check_trusted_histogram(prof, hist, core=core)
         total_observed = sum(float(np.abs(h).sum()) for h in hists)
         if total_observed < self.min_observations:
             return False  # not enough profile signal yet; keep current map
         if self.guard is None:
             return self._tick_unguarded(now, hists)
-        return self._tick_guarded(now, hists)
+        return self._tick_guarded(now, hists, self.guard)
 
     def _tick_unguarded(self, now: float, hists: list[np.ndarray]) -> bool:
         curves = [
             MissCurve.from_histogram(name, h)
             for name, h in zip(self.names, hists)
         ]
-        pmap, record = self._decide(now, curves)
+        pmap, record, decision = self._decide(now, curves)
         self.l2.apply_partition(pmap)
+        if self.sanitizer is not None:
+            self.sanitizer.check_epoch_install(self.l2, pmap, decision)
         self.history.append(record)
         self._finish_epoch()
         return True
 
-    def _tick_guarded(self, now: float, hists: list[np.ndarray]) -> bool:
-        guard = self.guard
-        assert guard is not None
+    def _tick_guarded(
+        self, now: float, hists: list[np.ndarray], guard: DecisionGuard
+    ) -> bool:
         per_core_min = self.min_observations / max(len(self.profilers), 1)
         try:
             curves = [
@@ -211,7 +223,7 @@ class EpochController:
                 )
                 for core, (name, h) in enumerate(zip(self.names, hists))
             ]
-            pmap, record = self._decide(now, curves)
+            pmap, record, decision = self._decide(now, curves)
         except ReproError as error:
             mode = guard.note_failure(now, error)
             self._apply_degraded(mode)
@@ -226,6 +238,10 @@ class EpochController:
             return False
         self._apply_degraded(mode)
         self.l2.apply_partition(pmap)
+        if self.sanitizer is not None:
+            # Post-install deep check, outside containment: if aggregation
+            # broke Rules 1-3 or way conservation, fail loudly.
+            self.sanitizer.check_epoch_install(self.l2, pmap, decision)
         guard.record_install(pmap)
         self.history.append(record)
         self._finish_epoch()

@@ -65,6 +65,11 @@ class RunSettings:
     #: optional seeded failure scenario injected into the profiler read
     #: path of dynamic schemes (see :mod:`repro.resilience.faults`).
     fault_plan: FaultPlan | None = None
+    #: deep runtime invariant checking (expensive; see
+    #: :mod:`repro.resilience.sanitizer`).  Violations raise
+    #: :class:`~repro.resilience.errors.SanitizerViolation` and are never
+    #: contained by the guard.
+    sanitize: bool = False
 
     @property
     def warmup_cycles(self) -> float:
@@ -110,6 +115,7 @@ def build_system(
         profiler_kind=st.profiler_kind,
         profiler_decay=st.profiler_decay,
         fault_plan=st.fault_plan,
+        sanitize=st.sanitize,
     )
     system.set_measurement_window(st.warmup_cycles, st.duration_cycles)
     return system

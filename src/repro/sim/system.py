@@ -36,6 +36,7 @@ from repro.profiling.msa import MSAProfiler
 from repro.profiling.sampled import SampledMSAProfiler
 from repro.resilience.faults import FaultPlan
 from repro.resilience.guard import DecisionGuard
+from repro.resilience.sanitizer import ReproSanitizer
 from repro.sim.controller import EpochController
 from repro.sim.stats import CoreResult, SystemResult
 from repro.workloads.synthetic import WorkloadSpec
@@ -64,6 +65,7 @@ class CMPSystem:
         profiler_kind: str = "sampled",
         profiler_decay: float = 0.5,
         fault_plan: FaultPlan | None = None,
+        sanitize: bool = False,
     ) -> None:
         config.validate()
         if scheme not in ALL_SIM_SCHEMES:
@@ -92,6 +94,11 @@ class CMPSystem:
         ]
         self.profilers = self._build_profilers(profiler_kind)
         self.controller: EpochController | None = None
+        self.sanitizer: ReproSanitizer | None = (
+            ReproSanitizer()
+            if (sanitize or config.resilience.sanitize)
+            else None
+        )
 
         if scheme == "no-partitions":
             self.l2.share_all()
@@ -128,6 +135,7 @@ class CMPSystem:
                 fault_injector=(
                     fault_plan.injector() if fault_plan is not None else None
                 ),
+                sanitizer=self.sanitizer,
             )
 
         # flattened trace state for the event loop
@@ -212,6 +220,9 @@ class CMPSystem:
             if not self._schedule(heap, core):
                 self.stop_time = arrival  # first exhausted trace ends the run
                 break
+        if self.sanitizer is not None:
+            # Final deep sweep: the whole cache must still be coherent.
+            self.sanitizer.check_installation(self.l2)
         return self.results()
 
     def _process(self, core: int, arrival: float) -> None:

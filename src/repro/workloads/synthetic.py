@@ -142,7 +142,7 @@ def _pool_popularity(
     line indices would pile the hottest lines into the lowest-numbered sets
     and systematically bias the set-sampled profiler.
     """
-    if pool.zipf == 0.0:
+    if pool.zipf < 1e-12:  # vanishing skew: numerically uniform
         return None
     depth = np.arange(num_lines, dtype=np.float64) // num_sets + 1.0
     weights = depth ** (-pool.zipf)

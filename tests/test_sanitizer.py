@@ -1,0 +1,242 @@
+"""Deep runtime invariant checking (``--sanitize``): unit checks on
+corrupted state, and end-to-end detection of injected profiler faults that
+the guard would otherwise contain silently."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cacheset import CacheSet
+from repro.cache.nuca import NucaL2
+from repro.cache.partition_map import (
+    BankAllocation,
+    CorePartition,
+    PartitionMap,
+    equal_partition_map,
+)
+from repro.config import L2Config, scaled_config
+from repro.partitioning.allocation import decision_to_partition_map
+from repro.partitioning.bank_aware import BankAwareDecision
+from repro.profiling.msa import MSAProfiler
+from repro.profiling.sampled import SampledMSAProfiler
+from repro.resilience import FaultPlan, ReproSanitizer, SanitizerViolation
+from repro.sim.runner import RunSettings, run_mix
+from repro.workloads import TABLE_III_SETS
+
+
+@pytest.fixture
+def sanitizer():
+    return ReproSanitizer()
+
+
+# ------------------------------------------------------------- cache sets
+
+
+class TestCheckSet:
+    def _filled_set(self):
+        cset = CacheSet(4)
+        for tag in (10, 20, 30):
+            cset.insert(tag, 0, (0, 1, 2, 3))
+        return cset
+
+    def test_healthy_set_passes(self, sanitizer):
+        sanitizer.check_set(self._filled_set())
+        assert sanitizer.checks_run == 1
+
+    def test_duplicate_stamp_detected(self, sanitizer):
+        cset = self._filled_set()
+        ways = [cset._map[10], cset._map[20]]
+        cset._stamps[ways[0]] = cset._stamps[ways[1]]
+        with pytest.raises(SanitizerViolation, match="lru-uniqueness"):
+            sanitizer.check_set(cset)
+
+    def test_duplicate_tag_detected(self, sanitizer):
+        cset = self._filled_set()
+        empty_way = cset._tags.index(None)
+        cset._tags[empty_way] = 10  # line 10 now resident twice
+        with pytest.raises(SanitizerViolation, match="resident twice"):
+            sanitizer.check_set(cset)
+
+    def test_tag_map_divergence_detected(self, sanitizer):
+        cset = self._filled_set()
+        cset._map[20] = cset._map[10]  # map points 20 at 10's way
+        with pytest.raises(SanitizerViolation, match="tag-map"):
+            sanitizer.check_set(cset)
+
+    def test_context_in_message(self, sanitizer):
+        cset = self._filled_set()
+        cset._map[20] = cset._map[10]
+        with pytest.raises(SanitizerViolation, match=r"bank=2, set=7"):
+            sanitizer.check_set(cset, bank=2, set_index=7)
+
+
+# ------------------------------------------------------- partition checks
+
+
+class TestPartitionChecks:
+    def test_full_map_passes(self, sanitizer):
+        pmap = equal_partition_map(2, 4, 4)
+        sanitizer.check_partition_map(pmap, num_banks=4, bank_ways=4)
+
+    def test_capacity_leak_detected(self, sanitizer):
+        pmap = PartitionMap()
+        pmap.add(CorePartition(0, (BankAllocation(0, (0, 1, 2, 3)),)))
+        with pytest.raises(SanitizerViolation, match="capacity leak"):
+            sanitizer.check_partition_map(pmap, num_banks=4, bank_ways=4)
+
+    def test_double_claim_detected(self, sanitizer):
+        pmap = equal_partition_map(2, 4, 4)
+        # claim core 1's Local bank a second time
+        pmap.partitions[0] = CorePartition(
+            0, (BankAllocation(0, (0, 1, 2, 3)), BankAllocation(1, (0, 1)))
+        )
+        with pytest.raises(SanitizerViolation, match="way-conservation"):
+            sanitizer.check_partition_map(pmap, num_banks=4, bank_ways=4)
+
+
+class TestDecisionRealization:
+    def _decision(self):
+        # 4 cores, 8 banks: cores 2/3 take the Center banks, cores 0/1 pair.
+        return BankAwareDecision(
+            ways=(12, 4, 24, 24),
+            center_banks=(0, 0, 2, 2),
+            pairs=((0, 1),),
+            bank_ways=8,
+        )
+
+    def test_faithful_realization_passes(self, sanitizer):
+        decision = self._decision()
+        pmap = decision_to_partition_map(decision, num_banks=8)
+        sanitizer.check_decision_realization(decision, pmap)
+
+    def test_way_vector_mismatch_detected(self, sanitizer):
+        decision = self._decision()
+        with pytest.raises(SanitizerViolation, match="realization"):
+            sanitizer.check_decision_realization(
+                decision, equal_partition_map(4, 8, 8)
+            )
+
+    def test_rule3_spill_detected(self, sanitizer):
+        decision = self._decision()
+        pmap = decision_to_partition_map(decision, num_banks=8)
+        # relocate core 0's annex from its partner's bank into bank 2
+        part = pmap[0]
+        pmap.partitions[0] = CorePartition(
+            0, part.level1, level2=BankAllocation(2, part.level2.ways)
+        )
+        with pytest.raises(SanitizerViolation, match="Rule 3"):
+            sanitizer.check_decision_realization(decision, pmap)
+
+
+# ------------------------------------------------------- profiler ledgers
+
+
+class TestProfilerMass:
+    def test_msa_ledger_tracks_decay_and_reset(self, sanitizer):
+        prof = MSAProfiler(16, 4)
+        prof.observe_many(range(40))
+        sanitizer.check_profiler(prof)
+        prof.decay(0.5)
+        sanitizer.check_profiler(prof)
+        prof.reset()
+        sanitizer.check_profiler(prof)
+
+    def test_sampled_ledger_consistent(self, sanitizer):
+        prof = SampledMSAProfiler(64, 8, set_sampling=4)
+        prof.observe_many(range(512))
+        sanitizer.check_profiler(prof)
+        prof.decay(0.75)
+        sanitizer.check_profiler(prof)
+
+    def test_counter_tampering_detected(self, sanitizer):
+        prof = MSAProfiler(16, 4)
+        prof.observe_many(range(40))
+        prof._counters[0] += 5.0
+        with pytest.raises(SanitizerViolation, match="msa-mass"):
+            sanitizer.check_profiler(prof)
+
+    def test_zeroed_trusted_histogram_detected(self, sanitizer):
+        prof = MSAProfiler(16, 4)
+        prof.observe_many(range(40))
+        with pytest.raises(SanitizerViolation, match="tampered"):
+            sanitizer.check_trusted_histogram(
+                prof, np.zeros_like(prof.histogram), core=3
+            )
+
+    def test_non_finite_trusted_histogram_detected(self, sanitizer):
+        prof = MSAProfiler(16, 4)
+        prof.observe_many(range(40))
+        bad = prof.histogram
+        bad[0] = np.nan
+        with pytest.raises(SanitizerViolation, match="non-finite"):
+            sanitizer.check_trusted_histogram(prof, bad)
+
+    def test_untouched_histogram_passes(self, sanitizer):
+        prof = MSAProfiler(16, 4)
+        prof.observe_many(range(40))
+        sanitizer.check_trusted_histogram(prof, prof.histogram)
+
+
+# -------------------------------------------------------- installed state
+
+
+class TestInstallation:
+    def _l2(self):
+        cfg = L2Config(num_banks=4, bank_ways=4, sets_per_bank=16)
+        l2 = NucaL2(cfg, num_cores=2)
+        l2.apply_partition(equal_partition_map(2, 4, 4))
+        for line in range(64):
+            l2.access(line % 2, line)
+        return l2
+
+    def test_healthy_installation_passes(self, sanitizer):
+        sanitizer.check_installation(self._l2())
+        assert sanitizer.checks_run > 1
+
+    def test_directory_corruption_detected(self, sanitizer):
+        l2 = self._l2()
+        line = next(iter(l2._where))
+        l2._where[line] = (l2._where[line] + 1) % 4
+        with pytest.raises(SanitizerViolation, match="directory"):
+            sanitizer.check_installation(l2)
+
+    def test_ownership_mask_corruption_detected(self, sanitizer):
+        l2 = self._l2()
+        owners = l2.banks[0].way_owners()
+        owners[0] = frozenset((1,))  # steal a way core 0 is mapped to
+        l2.banks[0].set_way_owners(owners)
+        with pytest.raises(SanitizerViolation, match="way-conservation"):
+            sanitizer.check_installation(l2)
+
+
+# --------------------------------------------------------------- end to end
+
+
+class TestEndToEnd:
+    def _settings(self, **kwargs):
+        return RunSettings(duration_cycles=500_000.0, seed=5, **kwargs)
+
+    def _config(self):
+        return scaled_config(32, epoch_cycles=150_000)
+
+    def test_sanitized_run_completes_clean(self):
+        result = run_mix(
+            TABLE_III_SETS[0], "bank-aware", self._config(),
+            self._settings(sanitize=True),
+        )
+        assert result.total_instructions > 0
+
+    def test_injected_fault_raises_sanitizer_violation(self):
+        plan = FaultPlan.parse("0:zero@0")
+        with pytest.raises(SanitizerViolation, match="msa-mass"):
+            run_mix(
+                TABLE_III_SETS[0], "bank-aware", self._config(),
+                self._settings(sanitize=True, fault_plan=plan),
+            )
+
+    def test_same_fault_contained_without_sanitize(self):
+        plan = FaultPlan.parse("0:zero@0")
+        result = run_mix(
+            TABLE_III_SETS[0], "bank-aware", self._config(),
+            self._settings(fault_plan=plan),
+        )
+        assert result.total_instructions > 0
