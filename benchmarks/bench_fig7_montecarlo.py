@@ -8,14 +8,17 @@ Unrestricted, ~27 % for Bank-aware — the physical restrictions cost only a
 few points.
 """
 
-from benchmarks.common import bench_config, monte_carlo_mixes, once
+from benchmarks.common import bench_config, bench_jobs, monte_carlo_mixes, once
 from repro.analysis import format_series, run_monte_carlo
 
 
 def test_fig7_monte_carlo(benchmark):
     cfg = bench_config()
     mixes = monte_carlo_mixes()
-    mc = once(benchmark, lambda: run_monte_carlo(mixes, cfg, seed=2009))
+    mc = once(
+        benchmark,
+        lambda: run_monte_carlo(mixes, cfg, seed=2009, jobs=bench_jobs()),
+    )
     u, b = mc.series()
     print()
     print(f"Fig. 7 — relative miss ratio vs. even shares ({mixes} random mixes)")

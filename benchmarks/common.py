@@ -11,6 +11,8 @@ Scaling knobs (environment variables):
 * ``REPRO_BENCH_DURATION`` — simulated cycles per detailed run
   (default 6,000,000; the EXPERIMENTS.md numbers use 12,000,000).
 * ``REPRO_BENCH_MIXES``    — Monte Carlo mix count (default 300; paper 1000).
+* ``REPRO_JOBS``           — worker processes for the parallel sweeps
+  (default 1 = serial; results are bit-identical for every value).
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from __future__ import annotations
 import os
 
 from repro.config import SystemConfig, scaled_config
+from repro.parallel.executor import resolve_jobs
 from repro.sim.runner import RunSettings
 
 
@@ -40,6 +43,11 @@ def detailed_settings(seed: int = 7) -> RunSettings:
 
 def monte_carlo_mixes() -> int:
     return int(os.environ.get("REPRO_BENCH_MIXES", 300))
+
+
+def bench_jobs() -> int:
+    """Worker count for the sweep benchmarks (``REPRO_JOBS``, default 1)."""
+    return resolve_jobs(None)
 
 
 def once(benchmark, fn):

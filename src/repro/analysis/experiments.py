@@ -18,7 +18,7 @@ from repro.profiling.miss_curve import MissCurve
 from repro.profiling.msa import MSAProfiler
 from repro.profiling.overhead import profiler_overhead, system_overhead_fraction
 from repro.profiling.sampled import SampledMSAProfiler, profile_error
-from repro.sim.runner import RunSettings, SchemeComparison, compare_schemes
+from repro.sim.runner import RunSettings, SchemeComparison, run_sweep
 from repro.util.stats import geometric_mean
 from repro.workloads.mixes import TABLE_III_SETS, Mix
 from repro.workloads.spec_like import get
@@ -242,11 +242,15 @@ def detailed_sets(
     settings: RunSettings | None = None,
     *,
     sets: tuple[Mix, ...] = TABLE_III_SETS,
+    jobs: int | None = None,
 ) -> DetailedResults:
-    """Run the paper's eight detailed mixes under all three schemes."""
+    """Run the paper's eight detailed mixes under all three schemes.
+
+    ``jobs`` fans the independent (mix, scheme) simulations out over
+    worker processes with bit-identical results (default serial)."""
     cfg = config or scaled_config(epoch_cycles=3_000_000)
     st = settings or RunSettings(duration_cycles=12_000_000)
-    return DetailedResults([compare_schemes(mix, cfg, st) for mix in sets])
+    return DetailedResults(run_sweep(list(sets), cfg, st, jobs=jobs))
 
 
 # ---------------------------------------------------------------------------

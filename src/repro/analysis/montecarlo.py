@@ -17,17 +17,23 @@ the Unrestricted reduction.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.config import SystemConfig, scaled_config
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.profile_cache import ProfileCache
 from repro.partitioning.bank_aware import bank_aware_partition
 from repro.partitioning.static import equal_partition
 from repro.partitioning.unrestricted import predicted_misses, unrestricted_partition
 from repro.profiling.miss_curve import MissCurve
 from repro.profiling.msa import MSAProfiler
 from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.errors import CheckpointCorrupt
 from repro.workloads.mixes import Mix, random_mixes
 from repro.workloads.spec_like import ALL_NAMES, get
 from repro.workloads.synthetic import generate_trace
@@ -40,6 +46,7 @@ def collect_profiles(
     accesses: int = 80_000,
     warmup_fraction: float = 0.4,
     seed: int = 11,
+    cache: ProfileCache | None = None,
 ) -> dict[str, MissCurve]:
     """Stand-alone MSA profiles of every workload (paper step 1).
 
@@ -50,11 +57,25 @@ def collect_profiles(
     ``warmup_fraction`` of the trace only primes the profiler's LRU stacks;
     its counters are cleared before the measured portion, so the curves
     describe steady-state reuse, not cold misses.
+
+    With a :class:`~repro.parallel.profile_cache.ProfileCache`, curves are
+    looked up (and stored) by an exact fingerprint of every profiling
+    parameter, so repeated invocations skip the whole pass.
     """
     cfg = config or scaled_config()
     warmup = int(accesses * warmup_fraction)
+    fingerprint = None
+    if cache is not None:
+        fingerprint = cache.fingerprint(
+            cfg, accesses=accesses, warmup_fraction=warmup_fraction, seed=seed
+        )
     curves: dict[str, MissCurve] = {}
     for name in names:
+        if fingerprint is not None:
+            hit = cache.get(name, fingerprint)
+            if hit is not None:
+                curves[name] = hit
+                continue
         profiler = MSAProfiler(cfg.l2.sets_per_bank, cfg.l2.total_ways)
         trace = generate_trace(
             get(name), accesses, cfg.l2.sets_per_bank, seed=seed
@@ -64,6 +85,8 @@ def collect_profiles(
         profiler.reset()  # drop warmup counts; stack state persists
         profiler.observe_many(lines[warmup:])
         curves[name] = MissCurve.from_profiler(profiler, name)
+        if fingerprint is not None:
+            cache.put(name, fingerprint, curves[name])
     return curves
 
 
@@ -117,21 +140,40 @@ class MonteCarloPoint:
 
 @dataclass
 class MonteCarloResult:
-    """All points of one Fig. 7 experiment."""
+    """All points of one Fig. 7 experiment.
+
+    The derived views (:meth:`sorted_by_unrestricted`, :meth:`series`, the
+    mean ratios) share one lazily built ratio/sort cache, invalidated by
+    point-count changes, so plotting code can call them repeatedly without
+    re-walking all points every time.
+    """
 
     points: list[MonteCarloPoint] = field(default_factory=list)
+    _cache: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _ratios(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(unrestricted, bank_aware, sort_order) over the current points."""
+        if self._cache is None or self._cache[0] != len(self.points):
+            unrestricted = np.array([p.unrestricted_ratio for p in self.points])
+            bank_aware = np.array([p.bank_aware_ratio for p in self.points])
+            order = np.argsort(unrestricted, kind="stable")
+            self._cache = (len(self.points), unrestricted, bank_aware, order)
+        return self._cache[1], self._cache[2], self._cache[3]
 
     def sorted_by_unrestricted(self) -> list[MonteCarloPoint]:
         """The paper sorts the 1000 results by the Unrestricted reduction."""
-        return sorted(self.points, key=lambda p: p.unrestricted_ratio)
+        _, _, order = self._ratios()
+        return [self.points[i] for i in order]
 
     @property
     def mean_unrestricted_ratio(self) -> float:
-        return float(np.mean([p.unrestricted_ratio for p in self.points]))
+        return float(np.mean(self._ratios()[0]))
 
     @property
     def mean_bank_aware_ratio(self) -> float:
-        return float(np.mean([p.bank_aware_ratio for p in self.points]))
+        return float(np.mean(self._ratios()[1]))
 
     def restriction_penalty(self) -> float:
         """Average extra relative misses the Bank-aware rules cost over the
@@ -140,11 +182,96 @@ class MonteCarloResult:
 
     def series(self) -> tuple[np.ndarray, np.ndarray]:
         """(unrestricted, bank_aware) ratio arrays, sorted as in Fig. 7."""
-        pts = self.sorted_by_unrestricted()
-        return (
-            np.array([p.unrestricted_ratio for p in pts]),
-            np.array([p.bank_aware_ratio for p in pts]),
+        unrestricted, bank_aware, order = self._ratios()
+        return unrestricted[order], bank_aware[order]
+
+    # -- persistence ---------------------------------------------------------
+
+    JSON_FORMAT = "repro-monte-carlo-result"
+    JSON_VERSION = 1
+
+    def to_json(self, path: str | Path) -> None:
+        """Write every point to ``path`` (atomic; exact float round-trip)."""
+        payload = {
+            "format": self.JSON_FORMAT,
+            "version": self.JSON_VERSION,
+            "points": [p.to_dict() for p in self.points],
+        }
+        target = Path(path)
+        tmp = target.with_name(f".{target.name}.tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, target)
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "MonteCarloResult":
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorrupt(f"{path}: not valid JSON: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != cls.JSON_FORMAT
+            or payload.get("version") != cls.JSON_VERSION
+            or not isinstance(payload.get("points"), list)
+        ):
+            raise CheckpointCorrupt(f"{path}: not a {cls.JSON_FORMAT} file")
+        return cls(
+            points=[MonteCarloPoint.from_dict(d) for d in payload["points"]]
         )
+
+
+#: per-worker payload installed by :func:`_montecarlo_init` (also set
+#: in-process on the serial path, so the worker function is path-agnostic).
+_WORKER: dict = {}
+
+
+def _montecarlo_init(
+    curves: dict[str, MissCurve], cfg: SystemConfig, min_ways: int
+) -> None:
+    _WORKER["curves"] = curves
+    _WORKER["cfg"] = cfg
+    _WORKER["min_ways"] = min_ways
+
+
+def _montecarlo_point(mix: Mix) -> MonteCarloPoint:
+    """Evaluate one mix (pure: depends only on the mix and the payload)."""
+    curves: dict[str, MissCurve] = _WORKER["curves"]
+    cfg: SystemConfig = _WORKER["cfg"]
+    min_ways: int = _WORKER["min_ways"]
+    mix_curves = [curves[name] for name in mix.names]
+    total_ways = cfg.l2.total_ways
+    equal = equal_partition(cfg.num_cores, total_ways)
+    unrestricted = unrestricted_partition(
+        mix_curves, total_ways, min_ways=min_ways
+    )
+    decision = bank_aware_partition(
+        mix_curves,
+        num_banks=cfg.l2.num_banks,
+        bank_ways=cfg.l2.bank_ways,
+        max_ways_per_core=cfg.max_ways_per_core,
+        min_ways=min_ways,
+    )
+    return MonteCarloPoint(
+        mix,
+        predicted_misses(mix_curves, equal),
+        predicted_misses(mix_curves, unrestricted),
+        predicted_misses(mix_curves, list(decision.ways)),
+        decision.ways,
+    )
+
+
+def _restore_points(completed: list, limit: int) -> list[MonteCarloPoint]:
+    """Checkpointed items back to points, validating each item's shape."""
+    points = []
+    for i, item in enumerate(completed[:limit]):
+        try:
+            points.append(MonteCarloPoint.from_dict(item))
+        except (KeyError, TypeError) as exc:
+            raise CheckpointCorrupt(
+                f"checkpoint item #{i} is malformed: {exc!r}"
+            ) from exc
+    return points
 
 
 def run_monte_carlo(
@@ -157,6 +284,8 @@ def run_monte_carlo(
     min_ways: int = 1,
     checkpoint_path: str | None = None,
     resume: bool = False,
+    jobs: int | None = None,
+    profile_cache: ProfileCache | None = None,
 ) -> MonteCarloResult:
     """Steps 2-4 of the paper's comparison methodology for ``num_mixes``
     random workload sets.
@@ -164,15 +293,24 @@ def run_monte_carlo(
     With ``checkpoint_path`` the sweep snapshots completed points to an
     atomic JSON file every ``config.resilience.checkpoint_every`` mixes (and
     on any exit, including exceptions); ``resume=True`` restores those
-    points and continues.  ``random_mixes`` draws mixes sequentially from
-    the seed, so mix *i* is identical across runs and a killed-and-resumed
-    sweep reproduces the uninterrupted one bit-for-bit — resuming into a
-    larger ``num_mixes`` is likewise well-defined (prefix determinism).
+    points and continues.  A snapshot whose metadata disagrees with the
+    current parameters raises
+    :class:`~repro.resilience.errors.CheckpointMismatchError`.
+    ``random_mixes`` draws mixes sequentially from the seed, so mix *i* is
+    identical across runs and a killed-and-resumed sweep reproduces the
+    uninterrupted one bit-for-bit — resuming into a larger ``num_mixes``
+    is likewise well-defined (prefix determinism).
+
+    ``jobs`` fans the mixes out over worker processes (default serial; see
+    :func:`repro.parallel.executor.resolve_jobs`).  Every mix is a pure
+    function of (curves, config, mix) and results merge in submission
+    order, so the points are bit-identical for every ``jobs`` value.
     """
     cfg = config or scaled_config()
     if curves is None:
-        curves = collect_profiles(config=cfg, accesses=profile_accesses)
-    total_ways = cfg.l2.total_ways
+        curves = collect_profiles(
+            config=cfg, accesses=profile_accesses, cache=profile_cache
+        )
     meta = {
         "seed": seed,
         "num_cores": cfg.num_cores,
@@ -185,31 +323,16 @@ def run_monte_carlo(
         checkpoint_path, "monte-carlo", meta,
         every=cfg.resilience.checkpoint_every, resume=resume,
     )
-    result = MonteCarloResult(
-        points=[MonteCarloPoint.from_dict(d) for d in ckpt.completed]
-    )
+    # prefix determinism makes a longer snapshot a superset of this sweep
+    result = MonteCarloResult(points=_restore_points(ckpt.completed, num_mixes))
     mixes = random_mixes(num_mixes, cfg.num_cores, seed=seed)
+    executor = ParallelExecutor(
+        jobs, initializer=_montecarlo_init, initargs=(curves, cfg, min_ways)
+    )
     try:
-        for mix in mixes[len(result.points):]:
-            mix_curves = [curves[name] for name in mix.names]
-            equal = equal_partition(cfg.num_cores, total_ways)
-            unrestricted = unrestricted_partition(
-                mix_curves, total_ways, min_ways=min_ways
-            )
-            decision = bank_aware_partition(
-                mix_curves,
-                num_banks=cfg.l2.num_banks,
-                bank_ways=cfg.l2.bank_ways,
-                max_ways_per_core=cfg.max_ways_per_core,
-                min_ways=min_ways,
-            )
-            point = MonteCarloPoint(
-                mix,
-                predicted_misses(mix_curves, equal),
-                predicted_misses(mix_curves, unrestricted),
-                predicted_misses(mix_curves, list(decision.ways)),
-                decision.ways,
-            )
+        for point in executor.map_ordered(
+            _montecarlo_point, mixes[len(result.points):]
+        ):
             result.points.append(point)
             ckpt.record(point.to_dict())
     finally:

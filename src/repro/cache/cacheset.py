@@ -162,6 +162,8 @@ class CacheSet:
         self._dirty[way] = False
         self._owner[way] = -1
         self._stamps[way] = 0
+        if self.policy is not None:
+            self.policy.invalidate(way)
         return ev
 
     def set_dirty(self, tag: int, dirty: bool = True) -> None:

@@ -37,6 +37,15 @@ class ReplacementPolicy(ABC):
     def victim(self, candidates: Iterable[int]) -> int:
         """Pick the replacement victim among ``candidates`` (non-empty)."""
 
+    def invalidate(self, way: int) -> None:
+        """Forget all recency state for ``way`` (its line was removed).
+
+        The way should afterwards look like it was never touched — the
+        preferred victim — matching what the containing set does with its
+        own inlined LRU stamps.  Stateless policies only range-check.
+        """
+        self._check_way(way)
+
     def recency_order(self) -> list[int]:
         """Ways ordered MRU -> LRU (used by tests and the MSA reference).
 
@@ -76,6 +85,10 @@ class LRUPolicy(ReplacementPolicy):
         if best_way < 0:
             raise ValueError("victim() needs at least one candidate way")
         return best_way
+
+    def invalidate(self, way: int) -> None:
+        self._check_way(way)
+        self._stamps[way] = 0
 
     def recency_order(self) -> list[int]:
         return sorted(range(self.ways), key=lambda w: -self._stamps[w])
@@ -135,6 +148,20 @@ class TreePLRUPolicy(ReplacementPolicy):
         if tv in cands:
             return tv
         return min(cands, key=lambda w: self._stamps[w])
+
+    def invalidate(self, way: int) -> None:
+        """Clear the stamp and aim the tree at ``way`` so the freed slot is
+        the next victim (the hardware's invalidate behaviour)."""
+        self._check_way(way)
+        self._stamps[way] = 0
+        node = 0
+        span = self.ways
+        while span > 1:
+            half = span // 2
+            right = way % span >= half
+            self._bits[node] = right
+            node = 2 * node + (2 if right else 1)
+            span = half
 
 
 class RandomPolicy(ReplacementPolicy):

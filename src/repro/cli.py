@@ -7,6 +7,7 @@ Gives downstream users the paper's pipeline without writing Python:
 * ``simulate``   — detailed simulation of a mix under one scheme.
 * ``compare``    — all three schemes on one mix, relative metrics.
 * ``montecarlo`` — analytic sweep over random mixes, checkpoint/resumable.
+* ``bench``      — perf-tracking benchmark suite (writes BENCH_sweep.json).
 * ``suite``      — list the 26 SPEC-like workload models.
 * ``machine``    — print the (scaled) Table I machine description.
 * ``lint``       — run the repository's domain-aware static analysis.
@@ -15,10 +16,11 @@ Examples::
 
     python -m repro profile bzip2 --ways 8,16,32,45
     python -m repro partition crafty gap mcf art equake equake bzip2 equake
-    python -m repro compare --set 2 --duration 4000000
+    python -m repro compare --set 2 --duration 4000000 --jobs 3
     python -m repro compare --set 2 --inject-faults '0:zero@1,3:corrupt@2'
     python -m repro simulate --set 1 --sanitize
-    python -m repro montecarlo --mixes 1000 --checkpoint mc.json --resume
+    python -m repro montecarlo --mixes 1000 --jobs 4 --checkpoint mc.json
+    python -m repro bench --quick --output BENCH_sweep.json
     python -m repro lint src benchmarks examples --format json
 """
 
@@ -44,6 +46,7 @@ from repro.lint import (
     render_rules,
     render_text,
 )
+from repro.parallel import ProfileCache
 from repro.partitioning import (
     bank_aware_partition,
     predicted_misses,
@@ -112,6 +115,22 @@ def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
     if not getattr(args, "inject_faults", None):
         return None
     return FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
+
+
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent work items (default: "
+             "$REPRO_JOBS or 1 = serial; 0 = one per CPU); results are "
+             "bit-identical for every value",
+    )
+
+
+def _profile_cache(args: argparse.Namespace) -> ProfileCache | None:
+    value = getattr(args, "profile_cache", None)
+    if value is None:
+        return None
+    return ProfileCache(value or None)
 
 
 def _add_sanitize_arg(p: argparse.ArgumentParser) -> None:
@@ -319,7 +338,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     settings = RunSettings(duration_cycles=args.duration, seed=args.seed,
                            fault_plan=_fault_plan(args),
                            sanitize=args.sanitize)
-    comp = compare_schemes(mix, cfg, settings)
+    comp = compare_schemes(mix, cfg, settings, jobs=args.jobs)
     rows = []
     for scheme in comp.results:
         rows.append(
@@ -335,6 +354,26 @@ def cmd_compare(args: argparse.Namespace) -> int:
         if result.guard_events:
             print(f"\n[{scheme}]", end="")
             _print_guard_events(result.guard_events)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.parallel.bench import run_bench_suite
+
+    payload = run_bench_suite(
+        quick=args.quick, jobs=args.jobs, output=args.output
+    )
+    rows = [
+        (b["name"], f"{b['wall_s']:.3f}",
+         f"{b['throughput']:,.0f} {b['unit']}")
+        for b in payload["benchmarks"]
+    ]
+    print(format_table(
+        ["benchmark", "wall (s)", "throughput"], rows,
+        title=f"repro bench ({payload['suite']} suite, "
+              f"rev {payload['git_rev']})",
+    ))
+    print(f"report: {args.output}")
     return 0
 
 
@@ -366,6 +405,8 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
         profile_accesses=args.accesses,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        jobs=args.jobs,
+        profile_cache=_profile_cache(args),
     )
     print(format_table(
         ["metric", "value"],
@@ -437,6 +478,8 @@ def build_parser() -> argparse.ArgumentParser:
         _add_fault_args(p)
         _add_sanitize_arg(p)
         _add_machine_args(p)
+        if name == "compare":
+            _add_jobs_arg(p)
         p.set_defaults(fn=fn)
 
     p = sub.add_parser(
@@ -452,8 +495,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="snapshot completed mixes to this JSON file")
     p.add_argument("--resume", action="store_true",
                    help="continue from an existing --checkpoint snapshot")
+    p.add_argument("--profile-cache", nargs="?", const="", metavar="DIR",
+                   help="memoize the per-workload miss curves on disk "
+                        "(default dir: $REPRO_PROFILE_CACHE or "
+                        "~/.cache/repro/profiles)")
+    _add_jobs_arg(p)
     _add_machine_args(p)
     p.set_defaults(fn=cmd_montecarlo)
+
+    p = sub.add_parser(
+        "bench",
+        help="perf-tracking benchmark suite (writes BENCH_sweep.json)",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized suite (seconds instead of minutes)")
+    p.add_argument("--output", default="BENCH_sweep.json", metavar="PATH",
+                   help="report path (default: BENCH_sweep.json)")
+    _add_jobs_arg(p)
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
         "lint",

@@ -1,0 +1,190 @@
+"""The ``repro bench`` perf-tracking suite (writes ``BENCH_sweep.json``).
+
+A fixed micro/meso benchmark ladder over the reproduction's hot paths:
+
+* ``msa_observe_many``      — batched MSA profiling of the 26-workload
+  suite's traces at K = 128 (the analytic experiments' inner loop);
+* ``msa_observe_reference`` — the per-access reference loop on the same
+  traces, so the batched entry carries its measured speedup;
+* ``trace_generation``      — synthetic trace synthesis throughput;
+* ``montecarlo_slice``      — a slice of the Fig. 7 sweep (profile reuse,
+  partitioning algorithms, checkpoint-format serialisation);
+* ``detailed_epoch``        — one detailed simulation through several
+  repartitioning epochs.
+
+Every run writes a schema-stable JSON report (format/version/suite/git
+rev, per-benchmark wall-clock seconds and throughput) so successive
+changes leave a comparable perf trajectory.  Wall-clock reads live here
+by design — this is the *measurement* harness, scoped accordingly in
+``[tool.repro-lint]`` (``det002-allow``) rather than suppressed inline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.montecarlo import collect_profiles, run_monte_carlo
+from repro.config import scaled_config
+from repro.profiling.msa import MSAProfiler
+from repro.sim.runner import RunSettings, run_mix
+from repro.workloads.mixes import TABLE_III_SETS
+from repro.workloads.spec_like import ALL_NAMES, get
+from repro.workloads.synthetic import generate_trace
+
+FORMAT = "repro-bench"
+VERSION = 1
+
+#: workloads for the quick (CI smoke) profiling benchmarks — a reuse-heavy
+#: to streaming spread, so the batched kernel sees realistic window shapes.
+QUICK_WORKLOADS = ("bzip2", "swim", "mcf", "art", "crafty", "equake")
+
+
+def _git_rev() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def _entry(
+    name: str, wall_s: float, throughput: float, unit: str, **meta: object
+) -> dict:
+    return {
+        "name": name,
+        "wall_s": round(wall_s, 6),
+        "throughput": round(throughput, 3),
+        "unit": unit,
+        "meta": meta,
+    }
+
+
+def _bench_profiling(quick: bool) -> list[dict]:
+    cfg = scaled_config()
+    num_sets, positions = cfg.l2.sets_per_bank, cfg.l2.total_ways
+    names = QUICK_WORKLOADS if quick else ALL_NAMES
+    accesses = 20_000 if quick else 80_000
+
+    t0 = time.perf_counter()
+    traces = [
+        generate_trace(get(name), accesses, num_sets, seed=11).lines
+        for name in names
+    ]
+    gen_wall = time.perf_counter() - t0
+    total = sum(t.size for t in traces)
+
+    t0 = time.perf_counter()
+    for trace in traces:
+        MSAProfiler(num_sets, positions).observe_many(trace)
+    batch_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for trace in traces:
+        MSAProfiler(num_sets, positions).observe_many_reference(trace)
+    ref_wall = time.perf_counter() - t0
+
+    shared = {
+        "workloads": len(names),
+        "accesses_per_workload": accesses,
+        "positions": positions,
+    }
+    return [
+        _entry(
+            "msa_observe_many", batch_wall, total / batch_wall, "accesses/s",
+            speedup_vs_reference=round(ref_wall / batch_wall, 2), **shared,
+        ),
+        _entry(
+            "msa_observe_reference", ref_wall, total / ref_wall,
+            "accesses/s", **shared,
+        ),
+        _entry(
+            "trace_generation", gen_wall, total / gen_wall, "accesses/s",
+            **shared,
+        ),
+    ]
+
+
+def _bench_montecarlo(
+    quick: bool, jobs: int | None, report_dir: Path
+) -> dict:
+    cfg = scaled_config()
+    mixes = 8 if quick else 50
+    accesses = 20_000 if quick else 60_000
+    curves = collect_profiles(config=cfg, accesses=accesses)
+    t0 = time.perf_counter()
+    result = run_monte_carlo(mixes, cfg, curves=curves, jobs=jobs)
+    wall = time.perf_counter() - t0
+    # persist the points beside the report and prove the exact round-trip
+    points_path = report_dir / "BENCH_sweep.points.json"
+    result.to_json(points_path)
+    reread = type(result).from_json(points_path)
+    if reread.points != result.points:
+        raise AssertionError("MonteCarloResult JSON round-trip drifted")
+    return _entry(
+        "montecarlo_slice", wall, mixes / wall, "mixes/s",
+        mixes=mixes,
+        profile_accesses=accesses,
+        mean_unrestricted_ratio=round(result.mean_unrestricted_ratio, 6),
+        mean_bank_aware_ratio=round(result.mean_bank_aware_ratio, 6),
+        points_file=points_path.name,
+    )
+
+
+def _bench_detailed(quick: bool) -> dict:
+    scale = 32 if quick else 8
+    duration = 300_000.0 if quick else 1_500_000.0
+    epoch = 100_000 if quick else 500_000
+    cfg = scaled_config(scale, epoch_cycles=epoch)
+    settings = RunSettings(duration_cycles=duration, seed=7)
+    t0 = time.perf_counter()
+    result = run_mix(TABLE_III_SETS[1], "bank-aware", cfg, settings)
+    wall = time.perf_counter() - t0
+    return _entry(
+        "detailed_epoch", wall, duration / wall, "cycles/s",
+        scale=scale,
+        duration_cycles=duration,
+        epochs=len(result.epochs),
+        l2_accesses=sum(c.l2_accesses for c in result.cores),
+    )
+
+
+def run_bench_suite(
+    *, quick: bool = False, jobs: int | None = None, output: str | Path
+) -> dict:
+    """Run the suite and atomically write the JSON report to ``output``."""
+    target = Path(output)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    benchmarks = _bench_profiling(quick)
+    benchmarks.append(_bench_montecarlo(quick, jobs, target.parent))
+    benchmarks.append(_bench_detailed(quick))
+    payload = {
+        "format": FORMAT,
+        "version": VERSION,
+        "suite": "quick" if quick else "full",
+        "git_rev": _git_rev(),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "jobs": jobs,
+        "benchmarks": benchmarks,
+    }
+    tmp = target.with_name(f".{target.name}.tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, target)
+    return payload

@@ -1,0 +1,97 @@
+"""On-disk memoization of the stand-alone MSA profiling pass.
+
+``collect_profiles`` is the fixed prologue of every analytic experiment:
+26 synthetic traces, each pushed through an exact MSA profiler.  Its
+output is a pure function of (workload model, cache geometry, trace
+length, warmup split, seed), so the curves can be cached on disk and
+reused across Monte Carlo runs, CLI invocations and benchmark sessions.
+
+Keying is by an explicit fingerprint over *everything* that determines a
+curve — including a format version bumped whenever profiling semantics
+change — so a stale cache can only ever miss, never lie.  Entries are one
+``.npz`` per (workload, fingerprint), written atomically (temp file +
+``os.replace``); unreadable entries are treated as misses and recomputed,
+because the cache is disposable by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.profiling.miss_curve import MissCurve, load_curves, save_curves
+
+#: bump when profiling semantics change (trace generation, warmup
+#: handling, histogram projection) to invalidate every old entry.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_PROFILE_CACHE``, else ``~/.cache/repro/profiles``."""
+    env = os.environ.get("REPRO_PROFILE_CACHE", "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "profiles"
+
+
+class ProfileCache:
+    """Miss-curve store under one directory (created lazily on first put)."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def fingerprint(
+        config: SystemConfig,
+        *,
+        accesses: int,
+        warmup_fraction: float,
+        seed: int,
+    ) -> str:
+        """Digest of every parameter that determines a profile curve."""
+        payload = {
+            "version": CACHE_VERSION,
+            "sets_per_bank": config.l2.sets_per_bank,
+            "total_ways": config.l2.total_ways,
+            "accesses": accesses,
+            "warmup_fraction": warmup_fraction,
+            "seed": seed,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def _path(self, name: str, fingerprint: str) -> Path:
+        return self.root / f"{name}-{fingerprint}.npz"
+
+    def get(self, name: str, fingerprint: str) -> MissCurve | None:
+        """The cached curve, or ``None`` on miss *or* unreadable entry."""
+        path = self._path(name, fingerprint)
+        if not path.is_file():
+            self.misses += 1
+            return None
+        try:
+            curve = load_curves(path).get(name)
+        except Exception:  # disposable cache: any corruption is a miss
+            curve = None
+        if curve is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return curve
+
+    def put(self, name: str, fingerprint: str, curve: MissCurve) -> None:
+        """Atomically store one curve (temp file + rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(name, fingerprint)
+        # keep the .npz suffix: np.savez would append one to any other name
+        tmp = path.with_name(f".{path.stem}.tmp.npz")
+        try:
+            save_curves(tmp, {name: curve})
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)

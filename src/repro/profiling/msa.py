@@ -18,6 +18,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.profiling.batched import batch_eligible, batched_depth_bins
 from repro.util.bits import is_pow2
 
 
@@ -70,9 +71,30 @@ class MSAProfiler:
         return depth
 
     def observe_many(self, lines: Iterable[int]) -> None:
-        """Observe an iterable of line numbers (convenience for traces)."""
+        """Observe many line numbers (the bulk entry point for traces).
+
+        Large non-negative integer arrays take the vectorized batch path
+        (:mod:`repro.profiling.batched`), which produces bit-identical
+        counters, mass and stack state to the per-access reference loop;
+        everything else falls back to :meth:`observe_many_reference`.
+        """
+        if batch_eligible(lines):
+            self._observe_batch(lines)
+        else:
+            self.observe_many_reference(lines)
+
+    def observe_many_reference(self, lines: Iterable[int]) -> None:
+        """The checked per-access reference for :meth:`observe_many`."""
         for line in lines:
             self.observe(int(line))
+
+    def _observe_batch(self, lines: np.ndarray) -> None:
+        a = lines.astype(np.int64, copy=False)
+        bins, self._stacks = batched_depth_bins(
+            a, a & self._set_mask, self.num_sets, self.positions, self._stacks
+        )
+        self._counters += np.bincount(bins, minlength=self.positions + 1)
+        self._mass += float(a.size)
 
     # -- histogram queries ---------------------------------------------------
 

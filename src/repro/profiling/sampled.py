@@ -22,6 +22,11 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.profiling.batched import (
+    batch_eligible,
+    batched_depth_bins,
+    hash_fold_many,
+)
 from repro.profiling.msa import MSAProfiler
 from repro.util.bits import hash_fold, is_pow2
 
@@ -112,8 +117,48 @@ class SampledMSAProfiler:
         return depth
 
     def observe_many(self, lines: Iterable[int]) -> None:
+        """Observe many line numbers; see
+        :meth:`repro.profiling.msa.MSAProfiler.observe_many` for the batch
+        dispatch rules (bit-identical to the per-access reference)."""
+        if batch_eligible(lines):
+            self._observe_batch(lines)
+        else:
+            self.observe_many_reference(lines)
+
+    def observe_many_reference(self, lines: Iterable[int]) -> None:
+        """The checked per-access reference for :meth:`observe_many`."""
         for line in lines:
             self.observe(int(line))
+
+    def _observe_batch(self, lines: np.ndarray) -> None:
+        a = lines.astype(np.int64, copy=False)
+        sets = a & self._set_mask
+        sub = a[(sets & self._sample_mask) == self.sample_offset]
+        if sub.size == 0:
+            return
+        groups = (sub & self._set_mask) // self.set_sampling
+        set_bits = self.num_sets.bit_length() - 1
+        tags = sub >> set_bits
+        if self.tag_mode == "truncate":
+            tags &= (1 << self.partial_tag_bits) - 1
+        else:
+            tags = hash_fold_many(tags, self.partial_tag_bits)
+        # partial tags collide across sets; fold the group id into the key
+        # so the kernel's equal-key-implies-equal-group contract holds
+        bits = self.partial_tag_bits
+        keys = (groups << bits) | tags
+        composed = [
+            [(g << bits) | tag for tag in stack]
+            for g, stack in enumerate(self._stacks)
+        ]
+        bins, new_stacks = batched_depth_bins(
+            keys, groups, self.sampled_sets, self.positions, composed
+        )
+        mask = (1 << bits) - 1
+        self._stacks = [[key & mask for key in st] for st in new_stacks]
+        self._counters += np.bincount(bins, minlength=self.positions + 1)
+        self.observed += int(sub.size)
+        self._mass += float(sub.size)
 
     # -- scaled histogram queries -------------------------------------------
 

@@ -16,6 +16,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.errors import (
     CheckpointCorrupt,
+    CheckpointMismatchError,
     ConfigError,
     PartitionInvariantError,
     ProfilerFault,
@@ -41,6 +42,7 @@ from repro.resilience.sanitizer import ReproSanitizer
 __all__ = [
     "ANY_CORE",
     "CheckpointCorrupt",
+    "CheckpointMismatchError",
     "ConfigError",
     "DecisionGuard",
     "DegradedMode",

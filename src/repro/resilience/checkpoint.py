@@ -28,7 +28,7 @@ import hashlib
 import json
 import os
 
-from repro.resilience.errors import CheckpointCorrupt
+from repro.resilience.errors import CheckpointCorrupt, CheckpointMismatchError
 
 FORMAT = "repro-sweep-checkpoint"
 VERSION = 1
@@ -124,9 +124,22 @@ class SweepCheckpoint:
                 pass  # nothing to resume — fresh sweep
             else:
                 if meta_on_disk != self.meta:
-                    raise CheckpointCorrupt(
-                        f"{path}: snapshot parameters {meta_on_disk} do not "
-                        f"match this sweep's {self.meta}; refusing to splice"
+                    keys = sorted(
+                        set(meta_on_disk) | set(self.meta)
+                    )
+                    diff = tuple(
+                        k for k in keys
+                        if meta_on_disk.get(k) != self.meta.get(k)
+                    )
+                    detail = "; ".join(
+                        f"{k}: snapshot {meta_on_disk.get(k)!r} vs "
+                        f"current {self.meta.get(k)!r}"
+                        for k in diff
+                    )
+                    raise CheckpointMismatchError(
+                        f"{path}: snapshot belongs to a different "
+                        f"experiment ({detail}); refusing to splice",
+                        mismatched=diff,
                     )
                 self.completed = completed
 

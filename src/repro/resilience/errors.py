@@ -14,6 +14,7 @@ from __future__ import annotations
 
 __all__ = [
     "CheckpointCorrupt",
+    "CheckpointMismatchError",
     "ConfigError",
     "PartitionInvariantError",
     "ProfilerFault",
@@ -55,6 +56,22 @@ class PartitionInvariantError(ReproError, ValueError):
 
 class CheckpointCorrupt(ReproError):
     """A sweep checkpoint file failed parsing or integrity validation."""
+
+
+class CheckpointMismatchError(CheckpointCorrupt):
+    """An intact checkpoint belongs to a *different* experiment.
+
+    Raised when a resume is attempted with parameters (seed, mixes,
+    schemes, machine shape, ...) that disagree with the snapshot's stored
+    metadata: splicing its completed items into the current sweep would
+    silently pair work item *i* with another experiment's result.  Subclass
+    of :class:`CheckpointCorrupt` so existing refuse-to-resume handlers
+    keep working; ``mismatched`` names the disagreeing metadata keys.
+    """
+
+    def __init__(self, message: str, *, mismatched: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.mismatched = mismatched
 
 
 class SimulationInvariantError(ReproError):

@@ -18,7 +18,9 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.config import SystemConfig, scaled_config
+from repro.parallel.executor import ParallelExecutor
 from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.errors import CheckpointCorrupt
 from repro.resilience.faults import FaultPlan
 from repro.sim.stats import SystemResult
 from repro.sim.system import DETAILED_SCHEMES, CMPSystem
@@ -156,17 +158,74 @@ class SchemeComparison:
         return relative(self.results[scheme].mean_cpi, base)
 
 
+#: per-worker payload installed by :func:`_sweep_init` (also set
+#: in-process on the serial path).
+_WORKER: dict = {}
+
+
+def _sweep_init(cfg: SystemConfig, settings: RunSettings) -> None:
+    _WORKER["cfg"] = cfg
+    _WORKER["settings"] = settings
+
+
+def _sweep_run(item: tuple[Mix, str]) -> SystemResult:
+    """Simulate one (mix, scheme) work item (pure given the payload)."""
+    mix, scheme = item
+    return run_mix(mix, scheme, _WORKER["cfg"], _WORKER["settings"])
+
+
 def compare_schemes(
     mix: Mix,
     config: SystemConfig | None = None,
     settings: RunSettings | None = None,
     schemes: tuple[str, ...] = DETAILED_SCHEMES,
+    *,
+    jobs: int | None = None,
 ) -> SchemeComparison:
-    """Run one mix under every detailed scheme (same traces/seed)."""
-    results = {
-        scheme: run_mix(mix, scheme, config, settings) for scheme in schemes
-    }
+    """Run one mix under every detailed scheme (same traces/seed).
+
+    The schemes are independent simulations of identical traces, so
+    ``jobs`` runs them concurrently with bit-identical results (default
+    serial; see :func:`repro.parallel.executor.resolve_jobs`).
+    """
+    cfg = config or scaled_config()
+    st = settings or RunSettings()
+    executor = ParallelExecutor(
+        jobs, initializer=_sweep_init, initargs=(cfg, st)
+    )
+    results = dict(
+        zip(
+            schemes,
+            executor.map_ordered(_sweep_run, [(mix, s) for s in schemes]),
+        )
+    )
     return SchemeComparison(mix, results)
+
+
+def _restore_comparisons(
+    completed: list, mixes: Sequence[Mix], schemes: tuple[str, ...]
+) -> list[SchemeComparison]:
+    """Checkpointed items back to comparisons, validating each shape."""
+    if len(completed) > len(mixes):
+        raise CheckpointCorrupt(
+            f"checkpoint holds {len(completed)} completed mixes but this "
+            f"sweep only has {len(mixes)}"
+        )
+    out = []
+    for i, item in enumerate(completed):
+        if not isinstance(item, dict) or set(item) != set(schemes):
+            raise CheckpointCorrupt(
+                f"checkpoint item #{i} holds schemes "
+                f"{sorted(item) if isinstance(item, dict) else item!r}, "
+                f"expected {sorted(schemes)}"
+            )
+        out.append(
+            SchemeComparison(
+                mixes[i],
+                {s: SystemResult.from_dict(d) for s, d in item.items()},
+            )
+        )
+    return out
 
 
 def run_sweep(
@@ -177,6 +236,7 @@ def run_sweep(
     *,
     checkpoint_path: str | None = None,
     resume: bool = False,
+    jobs: int | None = None,
 ) -> list[SchemeComparison]:
     """Detailed-simulation sweep over many mixes, resumable mid-run.
 
@@ -184,7 +244,14 @@ def run_sweep(
     JSON checkpoint (see :mod:`repro.resilience.checkpoint`); with
     ``resume=True`` a killed sweep restarts after its last completed mix and
     reproduces the uninterrupted sweep exactly, because every mix's
-    simulation is fully determined by (mix, config, settings).
+    simulation is fully determined by (mix, config, settings).  A snapshot
+    from different parameters raises
+    :class:`~repro.resilience.errors.CheckpointMismatchError`.
+
+    ``jobs`` fans the independent (mix, scheme) simulations out over worker
+    processes; results merge in submission order, so both the returned
+    comparisons and the checkpoint prefix are bit-identical for every
+    ``jobs`` value.
     """
     cfg = config or scaled_config()
     st = settings or RunSettings()
@@ -200,20 +267,23 @@ def run_sweep(
         checkpoint_path, "detailed-sweep", meta,
         every=cfg.resilience.checkpoint_every, resume=resume,
     )
-    out: list[SchemeComparison] = [
-        SchemeComparison(
-            mixes[i],
-            {s: SystemResult.from_dict(d) for s, d in item.items()},
-        )
-        for i, item in enumerate(ckpt.completed)
-    ]
+    out = _restore_comparisons(ckpt.completed, mixes, schemes)
+    todo = list(mixes[len(out):])
+    items = [(mix, scheme) for mix in todo for scheme in schemes]
+    executor = ParallelExecutor(
+        jobs, initializer=_sweep_init, initargs=(cfg, st)
+    )
     try:
-        for mix in mixes[len(out):]:
-            comp = compare_schemes(mix, cfg, st, schemes)
-            out.append(comp)
-            ckpt.record(
-                {s: r.to_dict() for s, r in comp.results.items()}
-            )
+        gathered: dict[str, SystemResult] = {}
+        for (mix, scheme), res in zip(
+            items, executor.map_ordered(_sweep_run, items)
+        ):
+            gathered[scheme] = res
+            if len(gathered) == len(schemes):
+                comp = SchemeComparison(mix, gathered)
+                gathered = {}
+                out.append(comp)
+                ckpt.record({s: r.to_dict() for s, r in comp.results.items()})
     finally:
         ckpt.save()
     return out

@@ -91,6 +91,54 @@ class TestInvalidate:
         assert s.insert(3, 0, (0, 1)) is None  # reuses the freed way
 
 
+class TestInvalidateNotifiesPolicy:
+    """A pluggable policy must see invalidations, or its recency state
+    keeps pointing victims at live lines (the stale-stamp bug)."""
+
+    @pytest.mark.parametrize("policy", ["plru", "random"])
+    def test_policy_sees_the_freed_way(self, policy):
+        s = CacheSet(4, policy=policy)
+        for tag in range(4):
+            s.insert(tag, 0, (0, 1, 2, 3))
+        way = s.probe(2)
+        s.invalidate(2)
+        # refill lands on the freed way, not on a victim of a full set
+        assert s.insert(9, 0, (0, 1, 2, 3)) is None
+        assert s.probe(9) == way
+
+    def test_plru_victimises_invalidated_way_when_full(self):
+        s = CacheSet(4, policy="plru")
+        for tag in range(4):
+            s.insert(tag, 0, (0, 1, 2, 3))
+        victim_way = s.probe(1)
+        s.invalidate(1)
+        s.insert(8, 0, (0, 1, 2, 3))  # takes the empty slot
+        # the tree was aimed at the freed way, so the *next* fill after it
+        # is refilled must not immediately evict the fresh line
+        s.lookup(8)
+        ev = s.insert(9, 0, (0, 1, 2, 3))
+        assert ev is None or ev.tag != 8
+
+    def test_plru_tree_aims_at_invalidated_way(self):
+        from repro.cache.replacement import TreePLRUPolicy
+
+        p = TreePLRUPolicy(4)
+        for w in range(4):
+            p.touch(w)
+        p.invalidate(1)
+        assert p.victim(range(4)) == 1  # freed slot is the next victim
+
+    def test_lru_policy_clears_stamp(self):
+        from repro.cache.replacement import LRUPolicy
+
+        p = LRUPolicy(4)
+        for w in range(4):
+            p.touch(w)
+        p.invalidate(3)
+        assert p.victim(range(4)) == 3
+        assert p.recency_order()[-1] == 3
+
+
 class TestPartitioning:
     def test_victim_only_from_candidates(self):
         """The paper's modified LRU: core B's fill may not evict core A's

@@ -237,6 +237,25 @@ class TestConfig:
             lint(src, path="src/repro/noc/x.py", config=cfg)
         )
 
+    def test_det002_allow_carves_out_harness(self):
+        cfg = config_from_mapping(
+            {"rules": {
+                "det002-paths": ["repro/parallel/"],
+                "det002-allow": ["repro/parallel/bench.py"],
+            }}
+        )
+        src = "import time\nnow = time.time()\n"
+        assert "DET002" in rules_of(
+            lint(src, path="src/repro/parallel/executor.py", config=cfg)
+        )
+        assert "DET002" not in rules_of(
+            lint(src, path="src/repro/parallel/bench.py", config=cfg)
+        )
+
+    def test_repo_config_scopes_bench_harness(self):
+        cfg = load_config()
+        assert "repro/parallel/bench.py" in cfg.det002_allow
+
 
 # ------------------------------------------------------------- reporters
 

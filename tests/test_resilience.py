@@ -586,20 +586,20 @@ class TestDetailedSweepResume:
         schemes = ("equal-partitions", "bank-aware")
         full = run_sweep(mixes, CFG, self.SETTINGS, schemes=schemes)
 
-        real = runner_mod.compare_schemes
+        real = runner_mod._sweep_run
         calls = {"n": 0}
 
-        def dying(*a, **kw):  # killed after the first mix completes
+        def dying(item):  # killed after the first mix's schemes complete
             calls["n"] += 1
-            if calls["n"] > 1:
+            if calls["n"] > len(schemes):
                 raise KeyboardInterrupt
-            return real(*a, **kw)
+            return real(item)
 
-        monkeypatch.setattr(runner_mod, "compare_schemes", dying)
+        monkeypatch.setattr(runner_mod, "_sweep_run", dying)
         with pytest.raises(KeyboardInterrupt):
             run_sweep(mixes, CFG, self.SETTINGS, schemes=schemes,
                       checkpoint_path=path)
-        monkeypatch.setattr(runner_mod, "compare_schemes", real)
+        monkeypatch.setattr(runner_mod, "_sweep_run", real)
         assert len(load_checkpoint(path, "detailed-sweep")[1]) == 1
         resumed = run_sweep(mixes, CFG, self.SETTINGS, schemes=schemes,
                             checkpoint_path=path, resume=True)
