@@ -18,7 +18,6 @@ the Unrestricted reduction.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -34,6 +33,8 @@ from repro.profiling.miss_curve import MissCurve
 from repro.profiling.msa import MSAProfiler
 from repro.resilience.checkpoint import SweepCheckpoint
 from repro.resilience.errors import CheckpointCorrupt
+from repro.telemetry.tracer import Tracer
+from repro.util.atomic_write import atomic_write_text
 from repro.workloads.mixes import Mix, random_mixes
 from repro.workloads.spec_like import ALL_NAMES, get
 from repro.workloads.synthetic import generate_trace
@@ -143,9 +144,11 @@ class MonteCarloResult:
     """All points of one Fig. 7 experiment.
 
     The derived views (:meth:`sorted_by_unrestricted`, :meth:`series`, the
-    mean ratios) share one lazily built ratio/sort cache, invalidated by
-    point-count changes, so plotting code can call them repeatedly without
-    re-walking all points every time.
+    mean ratios) share one lazily built ratio/sort cache, keyed on the
+    identity of every point in the list (points are frozen, so replacing
+    one always changes an identity), so plotting code can call them
+    repeatedly without re-walking all points every time — and editing the
+    list in place can never serve stale arrays.
     """
 
     points: list[MonteCarloPoint] = field(default_factory=list)
@@ -155,11 +158,12 @@ class MonteCarloResult:
 
     def _ratios(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(unrestricted, bank_aware, sort_order) over the current points."""
-        if self._cache is None or self._cache[0] != len(self.points):
+        key = tuple(map(id, self.points))
+        if self._cache is None or self._cache[0] != key:
             unrestricted = np.array([p.unrestricted_ratio for p in self.points])
             bank_aware = np.array([p.bank_aware_ratio for p in self.points])
             order = np.argsort(unrestricted, kind="stable")
-            self._cache = (len(self.points), unrestricted, bank_aware, order)
+            self._cache = (key, unrestricted, bank_aware, order)
         return self._cache[1], self._cache[2], self._cache[3]
 
     def sorted_by_unrestricted(self) -> list[MonteCarloPoint]:
@@ -191,16 +195,14 @@ class MonteCarloResult:
     JSON_VERSION = 1
 
     def to_json(self, path: str | Path) -> None:
-        """Write every point to ``path`` (atomic; exact float round-trip)."""
+        """Durably write every point to ``path`` (atomic + fsynced file and
+        directory; exact float round-trip)."""
         payload = {
             "format": self.JSON_FORMAT,
             "version": self.JSON_VERSION,
             "points": [p.to_dict() for p in self.points],
         }
-        target = Path(path)
-        tmp = target.with_name(f".{target.name}.tmp")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        os.replace(tmp, target)
+        atomic_write_text(path, json.dumps(payload))
 
     @classmethod
     def from_json(cls, path: str | Path) -> "MonteCarloResult":
@@ -286,6 +288,7 @@ def run_monte_carlo(
     resume: bool = False,
     jobs: int | None = None,
     profile_cache: ProfileCache | None = None,
+    tracer: Tracer | None = None,
 ) -> MonteCarloResult:
     """Steps 2-4 of the paper's comparison methodology for ``num_mixes``
     random workload sets.
@@ -305,6 +308,10 @@ def run_monte_carlo(
     :func:`repro.parallel.executor.resolve_jobs`).  Every mix is a pure
     function of (curves, config, mix) and results merge in submission
     order, so the points are bit-identical for every ``jobs`` value.
+
+    ``tracer`` records one ``mc_point`` event per evaluated mix (emitted
+    parent-side in submission order, so serial and parallel runs produce
+    identical streams; see :mod:`repro.telemetry`).
     """
     cfg = config or scaled_config()
     if curves is None:
@@ -326,13 +333,31 @@ def run_monte_carlo(
     # prefix determinism makes a longer snapshot a superset of this sweep
     result = MonteCarloResult(points=_restore_points(ckpt.completed, num_mixes))
     mixes = random_mixes(num_mixes, cfg.num_cores, seed=seed)
+    if tracer is not None:
+        tracer.emit_run_meta(
+            "monte-carlo",
+            detail=f"{num_mixes} mixes, seed {seed}, "
+            f"{len(result.points)} restored",
+        )
     executor = ParallelExecutor(
-        jobs, initializer=_montecarlo_init, initargs=(curves, cfg, min_ways)
+        jobs, initializer=_montecarlo_init, initargs=(curves, cfg, min_ways),
+        tracer=tracer,
     )
     try:
+        todo = mixes[len(result.points):]
         for point in executor.map_ordered(
-            _montecarlo_point, mixes[len(result.points):]
+            _montecarlo_point, todo, labels=[str(m) for m in todo]
         ):
+            if tracer is not None:
+                tracer.emit(
+                    "mc_point",
+                    index=len(result.points),
+                    mix=list(point.mix.names),
+                    equal_misses=point.equal_misses,
+                    unrestricted_misses=point.unrestricted_misses,
+                    bank_aware_misses=point.bank_aware_misses,
+                    ways=point.bank_aware_ways,
+                )
             result.points.append(point)
             ckpt.record(point.to_dict())
     finally:

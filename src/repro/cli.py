@@ -8,6 +8,7 @@ Gives downstream users the paper's pipeline without writing Python:
 * ``compare``    — all three schemes on one mix, relative metrics.
 * ``montecarlo`` — analytic sweep over random mixes, checkpoint/resumable.
 * ``bench``      — perf-tracking benchmark suite (writes BENCH_sweep.json).
+* ``report``     — digest a telemetry trace (JSONL from ``--trace``).
 * ``suite``      — list the 26 SPEC-like workload models.
 * ``machine``    — print the (scaled) Table I machine description.
 * ``lint``       — run the repository's domain-aware static analysis.
@@ -18,8 +19,9 @@ Examples::
     python -m repro partition crafty gap mcf art equake equake bzip2 equake
     python -m repro compare --set 2 --duration 4000000 --jobs 3
     python -m repro compare --set 2 --inject-faults '0:zero@1,3:corrupt@2'
-    python -m repro simulate --set 1 --sanitize
+    python -m repro simulate --set 1 --sanitize --trace trace.jsonl
     python -m repro montecarlo --mixes 1000 --jobs 4 --checkpoint mc.json
+    python -m repro report trace.jsonl --check --chrome trace.chrome.json
     python -m repro bench --quick --output BENCH_sweep.json
     python -m repro lint src benchmarks examples --format json
 """
@@ -60,6 +62,15 @@ from repro.resilience import (
     ReproError,
 )
 from repro.sim import RunSettings, compare_schemes, run_mix
+from repro.telemetry import (
+    Tracer,
+    check_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry import render_json as render_trace_json
+from repro.telemetry import render_text as render_trace_text
 from repro.workloads import ALL_NAMES, TABLE_III_SETS, Mix, get, suite
 
 
@@ -131,6 +142,15 @@ def _profile_cache(args: argparse.Namespace) -> ProfileCache | None:
     if value is None:
         return None
     return ProfileCache(value or None)
+
+
+def _add_trace_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="PATH",
+        help="record a telemetry event stream (epoch decisions, guard "
+             "actions, bank snapshots) to this JSONL file; inspect it "
+             "with 'repro report PATH'",
+    )
 
 
 def _add_sanitize_arg(p: argparse.ArgumentParser) -> None:
@@ -313,8 +333,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     mix = _resolve_mix(args, cfg.num_cores)
     settings = RunSettings(duration_cycles=args.duration, seed=args.seed,
                            fault_plan=_fault_plan(args),
-                           sanitize=args.sanitize)
+                           sanitize=args.sanitize,
+                           trace=bool(args.trace))
     result = run_mix(mix, args.scheme, cfg, settings)
+    if args.trace:
+        write_jsonl(args.trace, result.events)
+        print(f"trace: {args.trace} ({len(result.events)} events)")
     rows = [
         (c.core, c.workload, c.l2_accesses, f"{c.miss_rate:.3f}",
          f"{c.mpki:.2f}", f"{c.cpi:.3f}")
@@ -337,8 +361,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
     mix = _resolve_mix(args, cfg.num_cores)
     settings = RunSettings(duration_cycles=args.duration, seed=args.seed,
                            fault_plan=_fault_plan(args),
-                           sanitize=args.sanitize)
-    comp = compare_schemes(mix, cfg, settings, jobs=args.jobs)
+                           sanitize=args.sanitize,
+                           trace=bool(args.trace))
+    tracer = Tracer() if args.trace else None
+    if tracer is not None:
+        tracer.emit_run_meta("compare", detail=str(mix))
+    comp = compare_schemes(mix, cfg, settings, jobs=args.jobs, tracer=tracer)
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+        print(f"trace: {args.trace} ({len(tracer.events)} events)")
     rows = []
     for scheme in comp.results:
         rows.append(
@@ -377,6 +408,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    events = read_jsonl(args.trace)
+    if args.check:
+        problems = check_trace(events)
+        if problems:
+            for problem in problems:
+                print(f"problem: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.trace}: {len(events)} events, schema OK")
+    if args.chrome:
+        write_chrome_trace(args.chrome, events)
+        print(f"chrome trace: {args.chrome} (open in ui.perfetto.dev)")
+    if not args.check:
+        if args.format == "json":
+            print(render_trace_json(events))
+        else:
+            print(render_trace_text(events))
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         print(render_rules())
@@ -398,6 +449,7 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
     cfg = _machine(args)
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint PATH")
+    tracer = Tracer() if args.trace else None
     result = run_monte_carlo(
         args.mixes,
         cfg,
@@ -407,7 +459,11 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
         resume=args.resume,
         jobs=args.jobs,
         profile_cache=_profile_cache(args),
+        tracer=tracer,
     )
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+        print(f"trace: {args.trace} ({len(tracer.events)} events)")
     print(format_table(
         ["metric", "value"],
         [
@@ -477,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=_positive_int, default=7)
         _add_fault_args(p)
         _add_sanitize_arg(p)
+        _add_trace_arg(p)
         _add_machine_args(p)
         if name == "compare":
             _add_jobs_arg(p)
@@ -499,9 +556,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="memoize the per-workload miss curves on disk "
                         "(default dir: $REPRO_PROFILE_CACHE or "
                         "~/.cache/repro/profiles)")
+    _add_trace_arg(p)
     _add_jobs_arg(p)
     _add_machine_args(p)
     p.set_defaults(fn=cmd_montecarlo)
+
+    p = sub.add_parser(
+        "report",
+        help="digest a telemetry trace (JSONL written by --trace)",
+    )
+    p.add_argument("trace", metavar="TRACE",
+                   help="JSONL trace file from a --trace run")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--check", action="store_true",
+                   help="schema-validate the trace and exit (non-zero on "
+                        "any violation)")
+    p.add_argument("--chrome", metavar="PATH",
+                   help="also export a Chrome/Perfetto trace JSON")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser(
         "bench",

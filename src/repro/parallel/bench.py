@@ -22,7 +22,6 @@ by design — this is the *measurement* harness, scoped accordingly in
 from __future__ import annotations
 
 import json
-import os
 import platform
 import subprocess
 import time
@@ -32,6 +31,7 @@ import numpy as np
 
 from repro.analysis.montecarlo import collect_profiles, run_monte_carlo
 from repro.config import scaled_config
+from repro.util.atomic_write import atomic_write_text
 from repro.profiling.msa import MSAProfiler
 from repro.sim.runner import RunSettings, run_mix
 from repro.workloads.mixes import TABLE_III_SETS
@@ -153,12 +153,21 @@ def _bench_detailed(quick: bool) -> dict:
     t0 = time.perf_counter()
     result = run_mix(TABLE_III_SETS[1], "bank-aware", cfg, settings)
     wall = time.perf_counter() - t0
+    # same run with telemetry on: the overhead contract says tracing must
+    # stay within a few percent of the untraced wall clock
+    traced_settings = RunSettings(duration_cycles=duration, seed=7, trace=True)
+    t0 = time.perf_counter()
+    traced = run_mix(TABLE_III_SETS[1], "bank-aware", cfg, traced_settings)
+    traced_wall = time.perf_counter() - t0
     return _entry(
         "detailed_epoch", wall, duration / wall, "cycles/s",
         scale=scale,
         duration_cycles=duration,
         epochs=len(result.epochs),
         l2_accesses=sum(c.l2_accesses for c in result.cores),
+        traced_wall_s=round(traced_wall, 6),
+        traced_events=len(traced.events),
+        traced_overhead_pct=round(100.0 * (traced_wall - wall) / wall, 2),
     )
 
 
@@ -184,7 +193,5 @@ def run_bench_suite(
         "jobs": jobs,
         "benchmarks": benchmarks,
     }
-    tmp = target.with_name(f".{target.name}.tmp")
-    tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    os.replace(tmp, target)
+    atomic_write_text(target, json.dumps(payload, indent=2) + "\n")
     return payload

@@ -28,10 +28,24 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any
 
 from repro.resilience.errors import ConfigError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timing import wall_clock
+from repro.telemetry.tracer import Tracer
 
 #: submission-window multiple: at most this many items per worker are
 #: in flight or buffered at once.
 WINDOW_PER_JOB = 4
+
+
+def _timed_call(fn: Callable[[Any], Any], item: Any) -> tuple[float, Any]:
+    """Run ``fn(item)`` and return (wall seconds, result).
+
+    Module-level so it pickles into worker processes; only used when the
+    executor is tracing (untraced runs ship ``fn`` unwrapped).
+    """
+    start = wall_clock()
+    result = fn(item)
+    return wall_clock() - start, result
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -69,6 +83,12 @@ class ParallelExecutor:
         (e.g. the 26 miss curves) once per worker instead of once per
         item.  The serial path calls it once in-process, so worker
         functions can read the same module-level state either way.
+    tracer / metrics:
+        Optional telemetry sinks.  When a tracer is attached, every yielded
+        item emits one ``sweep_item`` event *at yield time* — submission
+        order — so serial and parallel runs of the same sweep produce
+        identical event streams (only the non-deterministic ``wall_s``
+        field differs).
     """
 
     def __init__(
@@ -77,48 +97,111 @@ class ParallelExecutor:
         *,
         initializer: Callable[..., None] | None = None,
         initargs: tuple[Any, ...] = (),
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self._initializer = initializer
         self._initargs = initargs
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def _emit_item(self, index: int, label: str, wall_s: float) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                "sweep_item", index=index, label=label, wall_s=wall_s
+            )
+        if self.metrics is not None:
+            self.metrics.counter("executor.items").inc()
+            self.metrics.histogram("executor.item_wall_s").observe(wall_s)
 
     def map_ordered(
-        self, fn: Callable[[Any], Any], items: Iterable[Any]
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        labels: Sequence[str] | None = None,
     ) -> Iterator[Any]:
-        """Apply ``fn`` to every item, yielding results in item order."""
+        """Apply ``fn`` to every item, yielding results in item order.
+
+        ``labels`` (aligned with ``items``) names the per-item trace
+        events; it defaults to the item index.
+        """
         work: Sequence[Any] = list(items)
+        if labels is not None and len(labels) != len(work):
+            raise ConfigError(
+                f"{len(labels)} labels for {len(work)} work items"
+            )
+        if self.metrics is not None:
+            self.metrics.gauge("executor.jobs").set(self.jobs)
         if self.jobs == 1 or len(work) <= 1:
             if self._initializer is not None:
                 self._initializer(*self._initargs)
-            for item in work:
-                yield fn(item)
+            for index, item in enumerate(work):
+                if self.tracer is None and self.metrics is None:
+                    yield fn(item)
+                    continue
+                start = wall_clock()
+                result = fn(item)
+                self._emit_item(
+                    index,
+                    labels[index] if labels else str(index),
+                    wall_clock() - start,
+                )
+                yield result
             return
-        yield from self._map_pool(fn, work)
+        yield from self._map_pool(fn, work, labels)
 
     def _map_pool(
-        self, fn: Callable[[Any], Any], work: Sequence[Any]
+        self,
+        fn: Callable[[Any], Any],
+        work: Sequence[Any],
+        labels: Sequence[str] | None = None,
     ) -> Iterator[Any]:
         window = self.jobs * WINDOW_PER_JOB
         total = len(work)
-        with ProcessPoolExecutor(
+        traced = self.tracer is not None or self.metrics is not None
+        pool = ProcessPoolExecutor(
             max_workers=self.jobs,
             initializer=self._initializer,
             initargs=self._initargs,
-        ) as pool:
+        )
+        try:
             pending: dict[int, Any] = {}  # submission index -> future
             ready: dict[int, Any] = {}  # out-of-order completions
             submitted = 0
             emitted = 0
             while emitted < total:
                 while submitted < total and len(pending) + len(ready) < window:
-                    pending[submitted] = pool.submit(fn, work[submitted])
+                    pending[submitted] = (
+                        pool.submit(_timed_call, fn, work[submitted])
+                        if traced
+                        else pool.submit(fn, work[submitted])
+                    )
                     submitted += 1
                 if emitted in ready:
-                    yield ready.pop(emitted)
+                    result = ready.pop(emitted)
+                    if traced:
+                        wall_s, result = result
+                        self._emit_item(
+                            emitted,
+                            labels[emitted] if labels else str(emitted),
+                            wall_s,
+                        )
+                    yield result
                     emitted += 1
                     continue
                 wait(pending.values(), return_when=FIRST_COMPLETED)
                 for index in [i for i, f in pending.items() if f.done()]:
                     # .result() re-raises worker exceptions here, in
-                    # submission context, cancelling the rest of the pool
+                    # submission context
                     ready[index] = pending.pop(index).result()
+        except BaseException:
+            # A worker raised, the consumer abandoned the generator
+            # (GeneratorExit lands here) or the user interrupted: drop
+            # every queued-but-unstarted item instead of letting the
+            # full submission window run to completion first.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            pool.shutdown(wait=True)

@@ -23,6 +23,7 @@ from pathlib import Path
 
 from repro.config import SystemConfig
 from repro.profiling.miss_curve import MissCurve, load_curves, save_curves
+from repro.util.atomic_write import atomic_write
 
 #: bump when profiling semantics change (trace generation, warmup
 #: handling, histogram projection) to invalidate every old entry.
@@ -85,13 +86,17 @@ class ProfileCache:
         return curve
 
     def put(self, name: str, fingerprint: str, curve: MissCurve) -> None:
-        """Atomically store one curve (temp file + rename)."""
+        """Durably store one curve (temp + fsync + rename + dir fsync)."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(name, fingerprint)
-        # keep the .npz suffix: np.savez would append one to any other name
-        tmp = path.with_name(f".{path.stem}.tmp.npz")
-        try:
+
+        def writer(tmp: str) -> None:
             save_curves(tmp, {name: curve})
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+            fd = os.open(tmp, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+        # keep the .npz suffix: np.savez would append one to any other name
+        atomic_write(path, writer, suffix=".npz")

@@ -4,9 +4,11 @@ A 1000-mix Monte Carlo sweep or an 8-set detailed-simulation sweep is hours
 of work that a kill -9, OOM or power cut should not erase.  The discipline
 here is the standard production one:
 
-* snapshots are **atomic** — written to a temp file in the same directory,
-  fsynced, then ``os.replace``d over the target, so a crash mid-write leaves
-  either the old snapshot or the new one, never a torn file;
+* snapshots are **atomic and durable** — written to a temp file in the same
+  directory, fsynced, ``os.replace``d over the target, and the containing
+  directory is fsynced too, so a crash mid-write leaves either the old
+  snapshot or the new one (never a torn file) and a crash right *after* the
+  rename cannot roll it back;
 * snapshots are **integrity-checked** — a SHA-256 checksum over the
   canonical payload is verified on load, and any parse/schema/checksum
   failure raises :class:`~repro.resilience.errors.CheckpointCorrupt` rather
@@ -26,9 +28,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 
 from repro.resilience.errors import CheckpointCorrupt, CheckpointMismatchError
+from repro.util.atomic_write import atomic_write_text
 
 FORMAT = "repro-sweep-checkpoint"
 VERSION = 1
@@ -43,7 +45,8 @@ def _payload_digest(kind: str, meta: dict, completed: list) -> str:
 
 
 def save_checkpoint(path: str, kind: str, meta: dict, completed: list) -> None:
-    """Atomically write one snapshot (temp file + fsync + rename)."""
+    """Durably write one snapshot (temp + fsync file + replace + fsync dir,
+    via :func:`repro.util.atomic_write.atomic_write_text`)."""
     payload = {
         "format": FORMAT,
         "version": VERSION,
@@ -52,13 +55,7 @@ def save_checkpoint(path: str, kind: str, meta: dict, completed: list) -> None:
         "completed": completed,
         "checksum": _payload_digest(kind, meta, completed),
     }
-    directory = os.path.dirname(os.path.abspath(path))
-    tmp = os.path.join(directory, f".{os.path.basename(path)}.tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    atomic_write_text(path, json.dumps(payload))
 
 
 def load_checkpoint(path: str, kind: str) -> tuple[dict, list]:

@@ -37,6 +37,7 @@ from repro.resilience.faults import FaultInjector
 from repro.resilience.guard import DecisionGuard, DegradedMode
 from repro.resilience.sanitizer import ReproSanitizer
 from repro.sim.stats import EpochRecord
+from repro.telemetry.tracer import Tracer
 
 
 class EpochController:
@@ -67,6 +68,7 @@ class EpochController:
         guard: DecisionGuard | None = None,
         fault_injector: FaultInjector | None = None,
         sanitizer: ReproSanitizer | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if algorithm not in ("bank-aware", "unrestricted"):
             raise ConfigError("algorithm must be 'bank-aware' or 'unrestricted'")
@@ -91,6 +93,7 @@ class EpochController:
         self.guard = guard
         self.fault_injector = fault_injector
         self.sanitizer = sanitizer
+        self.tracer = tracer
         self.next_epoch = epoch_cycles
         self.epoch_index = 0  #: boundaries evaluated (fault windows key on it)
         self.history: list[EpochRecord] = []
@@ -172,6 +175,41 @@ class EpochController:
         for prof in self.profilers:
             prof.decay(self.decay)
 
+    # -- telemetry (every emission is guarded: off => zero allocations) -----
+
+    def _trace_skip(self, now: float, epoch: int, reason: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit("epoch_skip", time=now, epoch=epoch,
+                             reason=reason)
+
+    def _trace_decision(
+        self, now: float, epoch: int, curves: list[MissCurve],
+        record: EpochRecord,
+    ) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.emit(
+            "epoch_decision",
+            time=now,
+            epoch=epoch,
+            algorithm=self.algorithm,
+            ways=record.ways,
+            center_banks=record.center_banks,
+            pairs=record.pairs,
+            projected_misses=[
+                curve.misses_at(int(w))
+                for curve, w in zip(curves, record.ways)
+            ],
+        )
+
+    def _trace_guard_events(self, epoch: int, start: int) -> None:
+        """Mirror guard-ladder events logged since ``start`` into the trace."""
+        if self.tracer is None or self.guard is None:
+            return
+        for e in self.guard.events[start:]:
+            self.tracer.emit("guard_action", time=e.time, epoch=epoch,
+                             kind=e.kind, detail=e.detail, mode=e.mode)
+
     def tick(self, now: float) -> bool:
         """Repartition if an epoch boundary has passed; returns True when a
         new partition was installed."""
@@ -184,7 +222,9 @@ class EpochController:
         if self.fault_injector is not None and self.fault_injector.drops_epoch(
             epoch
         ):
-            return False  # the boundary never fired: no decision, no decay
+            # the boundary never fired: no decision, no decay
+            self._trace_skip(now, epoch, "fault injector dropped the boundary")
+            return False
         hists = self._read_histograms(epoch)
         if self.sanitizer is not None:
             # Mass conservation runs OUTSIDE guard containment on purpose:
@@ -194,12 +234,20 @@ class EpochController:
                 self.sanitizer.check_trusted_histogram(prof, hist, core=core)
         total_observed = sum(float(np.abs(h).sum()) for h in hists)
         if total_observed < self.min_observations:
-            return False  # not enough profile signal yet; keep current map
+            # not enough profile signal yet; keep current map
+            self._trace_skip(
+                now, epoch,
+                f"insufficient observations "
+                f"({total_observed:.0f} < {self.min_observations})",
+            )
+            return False
         if self.guard is None:
-            return self._tick_unguarded(now, hists)
-        return self._tick_guarded(now, hists, self.guard)
+            return self._tick_unguarded(now, epoch, hists)
+        return self._tick_guarded(now, epoch, hists, self.guard)
 
-    def _tick_unguarded(self, now: float, hists: list[np.ndarray]) -> bool:
+    def _tick_unguarded(
+        self, now: float, epoch: int, hists: list[np.ndarray]
+    ) -> bool:
         curves = [
             MissCurve.from_histogram(name, h)
             for name, h in zip(self.names, hists)
@@ -209,13 +257,16 @@ class EpochController:
         if self.sanitizer is not None:
             self.sanitizer.check_epoch_install(self.l2, pmap, decision)
         self.history.append(record)
+        self._trace_decision(now, epoch, curves, record)
         self._finish_epoch()
         return True
 
     def _tick_guarded(
-        self, now: float, hists: list[np.ndarray], guard: DecisionGuard
+        self, now: float, epoch: int, hists: list[np.ndarray],
+        guard: DecisionGuard,
     ) -> bool:
         per_core_min = self.min_observations / max(len(self.profilers), 1)
+        guard_log_start = len(guard.events)
         try:
             curves = [
                 guard.checked_curve(
@@ -227,6 +278,7 @@ class EpochController:
         except ReproError as error:
             mode = guard.note_failure(now, error)
             self._apply_degraded(mode)
+            self._trace_guard_events(epoch, guard_log_start)
             self._finish_epoch()
             return False
         mode = guard.note_healthy(now)
@@ -234,6 +286,10 @@ class EpochController:
             # healthy epoch, but hysteresis keeps us on a lower rung —
             # hold the degraded partition rather than flap.
             self._apply_degraded(mode)
+            self._trace_guard_events(epoch, guard_log_start)
+            self._trace_skip(
+                now, epoch, f"hysteresis hold on rung {mode.value}"
+            )
             self._finish_epoch()
             return False
         self._apply_degraded(mode)
@@ -244,6 +300,8 @@ class EpochController:
             self.sanitizer.check_epoch_install(self.l2, pmap, decision)
         guard.record_install(pmap)
         self.history.append(record)
+        self._trace_guard_events(epoch, guard_log_start)
+        self._trace_decision(now, epoch, curves, record)
         self._finish_epoch()
         return True
 

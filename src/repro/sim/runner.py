@@ -24,6 +24,8 @@ from repro.resilience.errors import CheckpointCorrupt
 from repro.resilience.faults import FaultPlan
 from repro.sim.stats import SystemResult
 from repro.sim.system import DETAILED_SCHEMES, CMPSystem
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
 from repro.util.stats import relative
 from repro.workloads.mixes import Mix
 from repro.workloads.synthetic import WorkloadSpec, generate_trace
@@ -72,6 +74,10 @@ class RunSettings:
     #: :class:`~repro.resilience.errors.SanitizerViolation` and are never
     #: contained by the guard.
     sanitize: bool = False
+    #: collect telemetry events/metrics during the run (see
+    #: :mod:`repro.telemetry`).  Off by default — untraced runs construct
+    #: no telemetry objects and stay bit-identical to the seed behaviour.
+    trace: bool = False
 
     @property
     def warmup_cycles(self) -> float:
@@ -118,6 +124,7 @@ def build_system(
         profiler_decay=st.profiler_decay,
         fault_plan=st.fault_plan,
         sanitize=st.sanitize,
+        trace=st.trace,
     )
     system.set_measurement_window(st.warmup_cycles, st.duration_cycles)
     return system
@@ -181,24 +188,38 @@ def compare_schemes(
     schemes: tuple[str, ...] = DETAILED_SCHEMES,
     *,
     jobs: int | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SchemeComparison:
     """Run one mix under every detailed scheme (same traces/seed).
 
     The schemes are independent simulations of identical traces, so
     ``jobs`` runs them concurrently with bit-identical results (default
     serial; see :func:`repro.parallel.executor.resolve_jobs`).
+
+    With a ``tracer`` attached (and ``settings.trace`` enabled so the
+    simulations record events), each run's event stream is merged into the
+    tracer in submission order, scheme-tagged — identical for every
+    ``jobs`` value.
     """
     cfg = config or scaled_config()
     st = settings or RunSettings()
     executor = ParallelExecutor(
-        jobs, initializer=_sweep_init, initargs=(cfg, st)
+        jobs, initializer=_sweep_init, initargs=(cfg, st),
+        tracer=tracer, metrics=metrics,
     )
-    results = dict(
-        zip(
-            schemes,
-            executor.map_ordered(_sweep_run, [(mix, s) for s in schemes]),
-        )
-    )
+    results: dict[str, SystemResult] = {}
+    for scheme, res in zip(
+        schemes,
+        executor.map_ordered(
+            _sweep_run,
+            [(mix, s) for s in schemes],
+            labels=[f"{mix}:{s}" for s in schemes],
+        ),
+    ):
+        if tracer is not None:
+            tracer.extend(res.events, scheme=scheme)
+        results[scheme] = res
     return SchemeComparison(mix, results)
 
 
@@ -237,6 +258,8 @@ def run_sweep(
     checkpoint_path: str | None = None,
     resume: bool = False,
     jobs: int | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> list[SchemeComparison]:
     """Detailed-simulation sweep over many mixes, resumable mid-run.
 
@@ -271,13 +294,20 @@ def run_sweep(
     todo = list(mixes[len(out):])
     items = [(mix, scheme) for mix in todo for scheme in schemes]
     executor = ParallelExecutor(
-        jobs, initializer=_sweep_init, initargs=(cfg, st)
+        jobs, initializer=_sweep_init, initargs=(cfg, st),
+        tracer=tracer, metrics=metrics,
     )
     try:
         gathered: dict[str, SystemResult] = {}
         for (mix, scheme), res in zip(
-            items, executor.map_ordered(_sweep_run, items)
+            items,
+            executor.map_ordered(
+                _sweep_run, items,
+                labels=[f"{m}:{s}" for m, s in items],
+            ),
         ):
+            if tracer is not None:
+                tracer.extend(res.events, scheme=f"{mix}:{scheme}")
             gathered[scheme] = res
             if len(gathered) == len(schemes):
                 comp = SchemeComparison(mix, gathered)

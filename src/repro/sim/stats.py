@@ -53,10 +53,14 @@ class SystemResult:
     epochs: list[EpochRecord] = field(default_factory=list)
     #: decision-guard log of one run: (time, kind, detail, mode) tuples.
     guard_events: list[tuple[float, str, str, str]] = field(default_factory=list)
+    #: telemetry event stream of one traced run (empty when tracing is off).
+    events: list[dict] = field(default_factory=list)
+    #: metrics-registry snapshot of one traced run (None when tracing is off).
+    telemetry: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (for sweep checkpoints)."""
-        return {
+        payload = {
             "scheme": self.scheme,
             "cores": [
                 [c.core, c.workload, c.instructions, c.cycles,
@@ -73,6 +77,12 @@ class SystemResult:
             ],
             "guard_events": [list(e) for e in self.guard_events],
         }
+        # keep untraced checkpoints byte-identical to the pre-telemetry format
+        if self.events:
+            payload["events"] = self.events
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "SystemResult":
@@ -92,6 +102,8 @@ class SystemResult:
                 for time, ways, centers, pairs in data["epochs"]
             ],
             guard_events=[tuple(e) for e in data.get("guard_events", [])],
+            events=list(data.get("events", [])),
+            telemetry=data.get("telemetry"),
         )
 
     @property

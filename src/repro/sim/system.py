@@ -39,6 +39,8 @@ from repro.resilience.guard import DecisionGuard
 from repro.resilience.sanitizer import ReproSanitizer
 from repro.sim.controller import EpochController
 from repro.sim.stats import CoreResult, SystemResult
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
 from repro.workloads.synthetic import WorkloadSpec
 
 #: the paper's detailed-simulation schemes (Figs. 8/9 compare these three).
@@ -66,6 +68,7 @@ class CMPSystem:
         profiler_decay: float = 0.5,
         fault_plan: FaultPlan | None = None,
         sanitize: bool = False,
+        trace: bool = False,
     ) -> None:
         config.validate()
         if scheme not in ALL_SIM_SCHEMES:
@@ -99,6 +102,18 @@ class CMPSystem:
             if (sanitize or config.resilience.sanitize)
             else None
         )
+        # Telemetry is opt-in by construction: untraced runs never allocate
+        # a tracer or registry and every emission site checks for None.
+        self.tracer: Tracer | None = Tracer() if trace else None
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if trace else None
+        )
+        if self.tracer is not None:
+            self.tracer.emit_run_meta(
+                "detailed-sim",
+                detail=f"{scheme}, {config.num_cores} cores, "
+                f"{config.l2.num_banks} banks",
+            )
 
         if scheme == "no-partitions":
             self.l2.share_all()
@@ -136,6 +151,7 @@ class CMPSystem:
                     fault_plan.injector() if fault_plan is not None else None
                 ),
                 sanitizer=self.sanitizer,
+                tracer=self.tracer,
             )
 
         # flattened trace state for the event loop
@@ -210,7 +226,10 @@ class CMPSystem:
                 self.stop_time = self.max_cycles
                 break
             if self.controller is not None:
-                self.controller.tick(arrival)
+                if self.controller.tick(arrival) and self.tracer is not None:
+                    self._emit_bank_snapshot(
+                        arrival, self.controller.epoch_index - 1
+                    )
             if (
                 self._start_snaps[core] is None
                 and arrival >= self.warmup_cycles
@@ -223,7 +242,26 @@ class CMPSystem:
         if self.sanitizer is not None:
             # Final deep sweep: the whole cache must still be coherent.
             self.sanitizer.check_installation(self.l2)
+        if self.tracer is not None:
+            # end-of-run totals snapshot, by convention at epoch -1
+            self._emit_bank_snapshot(self.stop_time or 0.0, -1)
         return self.results()
+
+    def _emit_bank_snapshot(self, now: float, epoch: int) -> None:
+        """Trace per-bank counter state (only called when tracing is on)."""
+        assert self.tracer is not None
+        self.tracer.emit(
+            "bank_snapshot",
+            time=now,
+            epoch=epoch,
+            hits=[b.stats.total_hits() for b in self.l2.banks],
+            misses=[b.stats.total_misses() for b in self.l2.banks],
+            occupancy=[b.occupancy() for b in self.l2.banks],
+            queue_served=[p.served for p in self.contention.ports],
+            queue_delay=[p.total_queue_delay for p in self.contention.ports],
+            migrations=self.l2.stats.migrations,
+            writebacks=self.l2.stats.writebacks,
+        )
 
     def _process(self, core: int, arrival: float) -> None:
         pos = self._pos[core]
@@ -285,4 +323,19 @@ class CMPSystem:
                     (e.time, e.kind, e.detail, e.mode)
                     for e in self.controller.guard.events
                 ]
+        if self.tracer is not None:
+            out.events = list(self.tracer.events)
+        if self.metrics is not None:
+            # rebuilt per call so results() stays idempotent (counters add)
+            self.metrics = MetricsRegistry()
+            self.l2.publish_metrics(self.metrics)
+            served = self.metrics.histogram("noc.port_served")
+            delay = self.metrics.histogram("noc.port_queue_delay")
+            for port in self.contention.ports:
+                served.observe(port.served)
+                delay.observe(port.total_queue_delay)
+            self.metrics.counter("mem.accesses").inc(
+                self.contention.memory_port.served
+            )
+            out.telemetry = self.metrics.snapshot()
         return out

@@ -1,0 +1,124 @@
+"""Counters, gauges and summary histograms for run-level metrics.
+
+A :class:`MetricsRegistry` is the pull-side companion of the event tracer:
+subsystems (``CMPSystem``, ``NucaL2``, ``ParallelExecutor``) publish their
+totals into one registry, and the registry's :meth:`~MetricsRegistry.snapshot`
+becomes ``SystemResult.telemetry`` — a plain JSON-serialisable dict, stable
+across serial and parallel runs because every published value is derived
+from simulated state, never from the host.
+
+Like the tracer, a registry is only constructed when telemetry is enabled;
+hot paths guard every touch with ``if metrics is not None``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (occupancy, worker count, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary (count/total/min/max) of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable view of every published metric."""
+        return {
+            "counters": {
+                name: m.value for name, m in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: m.value for name, m in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: m.summary()
+                for name, m in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,121 @@
+"""The event tracer: collect, merge, and persist JSON-lines traces.
+
+A :class:`Tracer` is an append-only, order-tagged event log.  The
+zero-overhead-when-off contract is enforced *at the call sites*: no
+subsystem ever constructs a tracer (or any event payload) unless tracing
+was requested, and every emission is guarded by ``if tracer is not None``
+— so the default path allocates nothing and stays bit-identical.
+
+Parallel runs keep one tracer per work item inside the worker (or carry
+events inside each worker's result object) and merge the streams into the
+parent tracer **in submission order** via :meth:`Tracer.extend` — the same
+discipline :class:`~repro.parallel.executor.ParallelExecutor` applies to
+results, so serial and ``--jobs N`` runs produce equal event streams (up
+to the wall-clock fields the schema explicitly marks non-deterministic).
+
+Traces persist as JSON-lines (one event per line), written durably through
+:func:`repro.util.atomic_write.atomic_write_text`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+from repro.telemetry.events import (
+    SCHEMA_VERSION,
+    TelemetryError,
+    jsonify_fields,
+    validate_event,
+)
+from repro.util.atomic_write import atomic_write_text
+
+
+class Tracer:
+    """Append-only telemetry event log with schema validation on emit."""
+
+    def __init__(self, *, validate: bool = True) -> None:
+        self.events: list[dict] = []
+        self.validate = validate
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(self, etype: str, **fields: object) -> dict:
+        """Append one event; returns the stored (sequenced) record."""
+        event = {"type": etype, "seq": len(self.events)}
+        event.update(jsonify_fields(fields))
+        if self.validate:
+            problems = validate_event(event)
+            if problems:
+                raise TelemetryError("; ".join(problems))
+        self.events.append(event)
+        return event
+
+    def emit_run_meta(self, source: str, detail: str | None = None) -> dict:
+        """Convenience header event opening a stream."""
+        fields: dict[str, object] = {
+            "schema_version": SCHEMA_VERSION,
+            "source": source,
+        }
+        if detail is not None:
+            fields["detail"] = detail
+        return self.emit("run_meta", **fields)
+
+    def extend(
+        self, events: Iterable[Mapping], *, scheme: str | None = None
+    ) -> None:
+        """Merge a worker's event stream, re-sequencing into this log.
+
+        Callers invoke this in submission order, so the merged stream is
+        identical whether the work ran serially or on a pool.  ``scheme``
+        tags every merged event with its origin (used by ``compare``,
+        where several schemes' streams interleave into one trace).
+        """
+        for event in events:
+            merged = dict(event)
+            merged["seq"] = len(self.events)
+            if scheme is not None:
+                merged["scheme"] = scheme
+            if self.validate:
+                problems = validate_event(merged)
+                if problems:
+                    raise TelemetryError("; ".join(problems))
+            self.events.append(merged)
+
+    def select(self, etype: str) -> list[dict]:
+        """All events of one type, in stream order."""
+        return [e for e in self.events if e["type"] == etype]
+
+    def write_jsonl(self, path: str | Path) -> None:
+        """Durably write the stream as JSON-lines."""
+        write_jsonl(path, self.events)
+
+
+def write_jsonl(path: str | Path, events: Iterable[Mapping]) -> None:
+    """Durably write an event stream as JSON-lines (one object per line)."""
+    lines = [json.dumps(dict(e), separators=(",", ":")) for e in events]
+    atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSON-lines trace; raises :class:`TelemetryError` on damage."""
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(event, dict):
+                raise TelemetryError(
+                    f"{path}:{lineno}: expected a JSON object"
+                )
+            events.append(event)
+    return events

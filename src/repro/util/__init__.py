@@ -1,16 +1,29 @@
-"""Shared helpers: deterministic RNG streams, bit ops, small statistics."""
+"""Shared helpers: deterministic RNG streams, bit ops, small statistics,
+durable atomic file writes."""
 
+from repro.util.atomic_write import (
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_directory,
+    replace_and_sync,
+)
 from repro.util.bits import hash_fold, ilog2, is_pow2, line_address
 from repro.util.rng import rng_stream
 from repro.util.stats import geometric_mean, relative, safe_div
 
 __all__ = [
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_directory",
     "geometric_mean",
     "hash_fold",
     "ilog2",
     "is_pow2",
     "line_address",
     "relative",
+    "replace_and_sync",
     "rng_stream",
     "safe_div",
 ]

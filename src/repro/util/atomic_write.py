@@ -1,0 +1,102 @@
+"""Durable atomic file writes (temp + fsync file + replace + fsync dir).
+
+Every "write a snapshot you may need after a crash" path in this repository
+— sweep checkpoints, Monte Carlo result files, profile-cache entries, trace
+files — must follow the same four-step discipline:
+
+1. write the payload to a temp file **in the same directory** as the target
+   (``os.replace`` is only atomic within one filesystem);
+2. ``fsync`` the temp file, so its *contents* are on stable storage before
+   the rename makes them reachable;
+3. ``os.replace`` over the target, so readers observe either the old file
+   or the new one, never a torn hybrid;
+4. ``fsync`` the containing **directory**, so the rename itself survives a
+   power cut — without this a crash right after "success" can roll the
+   directory entry back to the old file, or to nothing at all.
+
+Step 4 is the one ad-hoc implementations forget; centralising the dance
+here makes the durability gap impossible to reintroduce one call site at a
+time.  On platforms where directories cannot be opened or fsynced (Windows,
+some network filesystems) the directory sync degrades to a no-op — the
+write is still atomic, merely not power-cut-durable, which matches the
+guarantees those platforms can offer at all.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from pathlib import Path
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory's entry table to stable storage (best effort).
+
+    A no-op on platforms that cannot open directories; any other ``OSError``
+    (e.g. a filesystem that rejects ``fsync`` on directory handles) is also
+    swallowed, because the rename already happened and raising here would
+    turn a durability *upgrade* into a spurious failure.
+    """
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir handles
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def replace_and_sync(tmp: str | Path, target: str | Path) -> None:
+    """Atomically promote a fully-written, fsynced temp file to ``target``
+    and make the rename durable (steps 3 + 4 of the module discipline)."""
+    os.replace(tmp, target)
+    fsync_directory(os.path.dirname(os.path.abspath(os.fspath(target))))
+
+
+def atomic_write_text(
+    path: str | Path, text: str, *, encoding: str = "utf-8"
+) -> None:
+    """Durably replace ``path`` with ``text`` (the full four-step dance)."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Durably replace ``path`` with ``data`` (the full four-step dance)."""
+
+    def writer(tmp: str) -> None:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    atomic_write(path, writer)
+
+
+def atomic_write(
+    path: str | Path, write_tmp: Callable[[str], None], *, suffix: str = ""
+) -> None:
+    """Durably replace ``path`` with whatever ``write_tmp`` produces.
+
+    ``write_tmp`` receives a temp path in the target's directory and must
+    leave a complete, **fsynced** file there (writers that go through
+    :func:`atomic_write_text`/``_bytes`` get that for free; custom writers
+    such as ``np.savez`` should fsync before returning when they can, or
+    accept contents-durability on the filesystem's schedule).  The temp
+    file is promoted with :func:`replace_and_sync` and removed on any
+    failure, so aborted writes never litter the directory.
+
+    ``suffix`` is appended to the temp name for writers that key behaviour
+    on the extension (``np.savez`` appends ``.npz`` to anything else).
+    """
+    target = os.path.abspath(os.fspath(path))
+    directory = os.path.dirname(target)
+    tmp = os.path.join(directory, f".{os.path.basename(target)}.tmp{suffix}")
+    try:
+        write_tmp(tmp)
+        replace_and_sync(tmp, target)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)

@@ -1,0 +1,163 @@
+"""The durable-write helper and every call site that relies on it.
+
+The contract under test is the four-step dance (temp in the same dir,
+fsync file, ``os.replace``, fsync dir): a crash at *any* point leaves
+either the complete old file or the complete new one — and the rename
+itself is flushed, which is the step ad-hoc writers forget.
+"""
+
+import json
+import os
+import stat
+
+import pytest
+
+from repro.analysis.montecarlo import MonteCarloPoint, MonteCarloResult
+from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
+from repro.util.atomic_write import (
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_directory,
+)
+from repro.workloads.mixes import Mix
+
+
+class TestAtomicWrite:
+    def test_round_trip_text_and_bytes(self, tmp_path):
+        atomic_write_text(tmp_path / "a.txt", "hello")
+        atomic_write_bytes(tmp_path / "b.bin", b"\x00\x01")
+        assert (tmp_path / "a.txt").read_text(encoding="utf-8") == "hello"
+        assert (tmp_path / "b.bin").read_bytes() == b"\x00\x01"
+
+    def test_overwrites_existing_target(self, tmp_path):
+        target = tmp_path / "a.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text(encoding="utf-8") == "new"
+
+    def test_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        """Both the contents *and* the rename must reach stable storage."""
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        atomic_write_text(tmp_path / "out.json", "{}")
+        assert False in synced, "file contents were never fsynced"
+        assert True in synced, "directory entry was never fsynced"
+
+    def test_failed_writer_keeps_target_and_leaves_no_litter(self, tmp_path):
+        target = tmp_path / "data.txt"
+        atomic_write_text(target, "old")
+
+        def dies_mid_write(tmp):
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write("partial")
+            raise RuntimeError("killed mid-save")
+
+        with pytest.raises(RuntimeError, match="killed mid-save"):
+            atomic_write(target, dies_mid_write)
+        assert target.read_text(encoding="utf-8") == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["data.txt"]
+
+    def test_failed_replace_keeps_target_and_cleans_temp(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "data.txt"
+        atomic_write_text(target, "old")
+
+        def refuse_replace(src, dst):
+            raise OSError("simulated crash at the rename")
+
+        monkeypatch.setattr(os, "replace", refuse_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(target, "new")
+        monkeypatch.undo()
+        assert target.read_text(encoding="utf-8") == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["data.txt"]
+
+    def test_suffix_lands_on_the_temp_name(self, tmp_path):
+        seen = {}
+
+        def writer(tmp):
+            seen["tmp"] = tmp
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write("x")
+
+        atomic_write(tmp_path / "curve", writer, suffix=".npz")
+        assert seen["tmp"].endswith(".tmp.npz")
+        assert (tmp_path / "curve").read_text(encoding="utf-8") == "x"
+
+    def test_fsync_directory_swallows_fsync_errors(self, tmp_path, monkeypatch):
+        def broken_fsync(fd):
+            raise OSError("fs rejects directory fsync")
+
+        monkeypatch.setattr(os, "fsync", broken_fsync)
+        fsync_directory(tmp_path)  # must not raise
+
+
+class TestCheckpointDurability:
+    META = {"seed": 1}
+
+    def test_kill_during_save_keeps_previous_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash mid-save must leave the old checkpoint loadable."""
+        path = str(tmp_path / "sweep.json")
+        save_checkpoint(path, "test-sweep", self.META, [{"i": 0}])
+
+        def killed(src, dst):
+            raise OSError("kill -9 during the rename")
+
+        monkeypatch.setattr(os, "replace", killed)
+        with pytest.raises(OSError):
+            save_checkpoint(
+                path, "test-sweep", self.META, [{"i": 0}, {"i": 1}]
+            )
+        monkeypatch.undo()
+        meta, completed = load_checkpoint(path, "test-sweep")
+        assert (meta, completed) == (self.META, [{"i": 0}])
+        assert [p.name for p in tmp_path.iterdir()] == ["sweep.json"]
+
+    def test_save_checkpoint_fsyncs_the_directory(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        save_checkpoint(
+            str(tmp_path / "sweep.json"), "test-sweep", self.META, []
+        )
+        assert True in synced
+
+    def test_montecarlo_to_json_is_atomic_under_replace_failure(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "points.json"
+        first = MonteCarloResult(
+            points=[MonteCarloPoint(Mix(("bzip2",)), 10.0, 5.0, 6.0, (8,))]
+        )
+        first.to_json(target)
+        second = MonteCarloResult(
+            points=[MonteCarloPoint(Mix(("swim",)), 20.0, 5.0, 6.0, (8,))]
+        )
+
+        def killed(src, dst):
+            raise OSError("kill -9 during the rename")
+
+        monkeypatch.setattr(os, "replace", killed)
+        with pytest.raises(OSError):
+            second.to_json(target)
+        monkeypatch.undo()
+        reread = MonteCarloResult.from_json(target)
+        assert [p.mix.names for p in reread.points] == [("bzip2",)]
+        assert [p.name for p in tmp_path.iterdir()] == ["points.json"]
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["format"] == "repro-monte-carlo-result"

@@ -8,6 +8,7 @@ serial seed results bit for bit.  These tests pin that down with exact
 
 import json
 import os
+import time
 
 import numpy as np
 import pytest
@@ -103,6 +104,49 @@ class TestMapOrdered:
 
         with pytest.raises(RuntimeError, match="worker died"):
             list(ParallelExecutor(1).map_ordered(boom, [1]))
+
+
+class _MarkSleepWorker:
+    """Picklable worker: sleep, then leave a marker file per item.
+
+    The optional poison item raises immediately instead, so the marker
+    count afterwards reveals how many *queued* items the pool ran anyway.
+    """
+
+    def __init__(self, marker_dir, poison=None, sleep_s=0.2):
+        self.marker_dir = str(marker_dir)
+        self.poison = poison
+        self.sleep_s = sleep_s
+
+    def __call__(self, item):
+        if item == self.poison:
+            raise RuntimeError("poison item")
+        time.sleep(self.sleep_s)
+        with open(os.path.join(self.marker_dir, f"done-{item}"), "w"):
+            pass
+        return item
+
+
+class TestPromptCancellation:
+    """A dead sweep must not run its whole submission window first.
+
+    With jobs=2 the window is 8, so all 8 items are submitted up front;
+    the regression being pinned is the executor letting every queued item
+    run to completion (7 markers) before the failure surfaced.
+    """
+
+    def test_worker_exception_cancels_queued_items(self, tmp_path):
+        worker = _MarkSleepWorker(tmp_path, poison=0)
+        with pytest.raises(RuntimeError, match="poison item"):
+            list(ParallelExecutor(2).map_ordered(worker, range(8)))
+        assert len(os.listdir(tmp_path)) < 7
+
+    def test_abandoned_generator_cancels_queued_items(self, tmp_path):
+        worker = _MarkSleepWorker(tmp_path)
+        gen = ParallelExecutor(2).map_ordered(worker, range(8))
+        assert next(gen) == 0
+        gen.close()  # GeneratorExit must reach the cancellation path
+        assert len(os.listdir(tmp_path)) < 7
 
 
 # ---------------------------------------------------------------------------
@@ -265,7 +309,20 @@ class TestMonteCarloResultViews:
         )
         u, _ = res.series()
         assert u[0] == pytest.approx(0.10)
-        assert res._cache[0] == 4
+        assert res._cache[0] == tuple(map(id, res.points))
+
+    def test_cache_invalidated_by_replaced_point(self):
+        # regression: a same-length edit must not serve stale ratios
+        res = self._result()
+        res.series()
+        res.points[0] = MonteCarloPoint(
+            Mix(("swim",)), 100.0, 10.0, 20.0, (8,)
+        )
+        u, _ = res.series()
+        assert u[0] == pytest.approx(0.10)
+        assert res.mean_bank_aware_ratio == pytest.approx(
+            (0.20 + 0.61 + 0.62) / 3
+        )
 
     def test_json_round_trip_is_exact(self, tmp_path, curves_by_name):
         result = run_monte_carlo(6, CFG, curves=curves_by_name, seed=9)
