@@ -33,7 +33,13 @@ from repro.profiling.miss_curve import MissCurve
 from repro.profiling.msa import MSAProfiler
 from repro.resilience.checkpoint import SweepCheckpoint
 from repro.resilience.errors import CheckpointCorrupt
+from repro.telemetry.timing import wall_clock
 from repro.telemetry.tracer import Tracer
+
+#: traced sweeps emit one ``progress`` heartbeat per this fraction of the
+#: remaining work (at least every item); the cadence is a pure function of
+#: the item count, so serial and parallel streams stay equal.
+HEARTBEAT_FRACTION = 100
 from repro.util.atomic_write import atomic_write_text
 from repro.workloads.mixes import Mix, random_mixes
 from repro.workloads.spec_like import ALL_NAMES, get
@@ -345,6 +351,9 @@ def run_monte_carlo(
     )
     try:
         todo = mixes[len(result.points):]
+        heartbeat = max(1, len(todo) // HEARTBEAT_FRACTION)
+        start = wall_clock() if tracer is not None else 0.0
+        done = 0
         for point in executor.map_ordered(
             _montecarlo_point, todo, labels=[str(m) for m in todo]
         ):
@@ -360,6 +369,14 @@ def run_monte_carlo(
                 )
             result.points.append(point)
             ckpt.record(point.to_dict())
+            done += 1
+            if tracer is not None and (
+                done % heartbeat == 0 or done == len(todo)
+            ):
+                tracer.emit(
+                    "progress", done=done, total=len(todo),
+                    source="montecarlo", wall_s=wall_clock() - start,
+                )
     finally:
         ckpt.save()  # snapshot on kill/exception too, not just at the end
     return result

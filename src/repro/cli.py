@@ -7,8 +7,12 @@ Gives downstream users the paper's pipeline without writing Python:
 * ``simulate``   — detailed simulation of a mix under one scheme.
 * ``compare``    — all three schemes on one mix, relative metrics.
 * ``montecarlo`` — analytic sweep over random mixes, checkpoint/resumable.
-* ``bench``      — perf-tracking benchmark suite (writes BENCH_sweep.json).
+* ``bench``      — perf-tracking benchmark suite (writes BENCH_sweep.json),
+  regression-gated against a stored baseline with ``--baseline/--gate-pct``.
 * ``report``     — digest a telemetry trace (JSONL from ``--trace``).
+* ``runs``       — query the run store populated by ``--store`` runs.
+* ``diff``       — first-divergence comparison of two traces/stored runs.
+* ``watch``      — live-monitor a growing trace (progress, ETA, guards).
 * ``suite``      — list the 26 SPEC-like workload models.
 * ``machine``    — print the (scaled) Table I machine description.
 * ``lint``       — run the repository's domain-aware static analysis.
@@ -19,16 +23,20 @@ Examples::
     python -m repro partition crafty gap mcf art equake equake bzip2 equake
     python -m repro compare --set 2 --duration 4000000 --jobs 3
     python -m repro compare --set 2 --inject-faults '0:zero@1,3:corrupt@2'
-    python -m repro simulate --set 1 --sanitize --trace trace.jsonl
+    python -m repro simulate --set 1 --sanitize --trace trace.jsonl --store
     python -m repro montecarlo --mixes 1000 --jobs 4 --checkpoint mc.json
     python -m repro report trace.jsonl --check --chrome trace.chrome.json
-    python -m repro bench --quick --output BENCH_sweep.json
+    python -m repro runs list
+    python -m repro diff serial.jsonl parallel.jsonl
+    python -m repro watch trace.jsonl --interval 2
+    python -m repro bench --quick --baseline BENCH_sweep.json --gate-pct 10
     python -m repro lint src benchmarks examples --format json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -47,6 +55,22 @@ from repro.lint import (
     render_json,
     render_rules,
     render_text,
+)
+from repro.obs import (
+    DEFAULT_GATE_PCT,
+    DEFAULT_STORE,
+    RunStore,
+    append_history,
+    diff_traces,
+    gate_report,
+    headline_from_comparison,
+    headline_from_montecarlo,
+    headline_from_result,
+    load_report,
+    render_diff_json,
+    render_diff_text,
+    render_gate_text,
+    watch_trace,
 )
 from repro.parallel import ProfileCache
 from repro.partitioning import (
@@ -151,6 +175,23 @@ def _add_trace_arg(p: argparse.ArgumentParser) -> None:
              "actions, bank snapshots) to this JSONL file; inspect it "
              "with 'repro report PATH'",
     )
+
+
+def _add_store_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--store", nargs="?", const=DEFAULT_STORE, metavar="DIR",
+        help="archive this run (manifest with config fingerprint, git rev, "
+             f"headline results, trace) under DIR (default {DEFAULT_STORE}); "
+             "query with 'repro runs list|show'",
+    )
+
+
+def _store_run(args: argparse.Namespace, **archive_kwargs) -> None:
+    """Archive one finished run when ``--store`` was given."""
+    if not getattr(args, "store", None):
+        return
+    record = RunStore(args.store).archive(**archive_kwargs)
+    print(f"stored run: {record.run_id} ({record.path})")
 
 
 def _add_sanitize_arg(p: argparse.ArgumentParser) -> None:
@@ -339,6 +380,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.trace:
         write_jsonl(args.trace, result.events)
         print(f"trace: {args.trace} ({len(result.events)} events)")
+    _store_run(
+        args,
+        source="simulate",
+        config=cfg,
+        workloads=mix.names,
+        settings={"scheme": args.scheme, "duration_cycles": args.duration,
+                  "seed": args.seed, "scale": args.scale,
+                  "epoch_cycles": args.epoch},
+        headline=headline_from_result(result),
+        trace_events=result.events if args.trace else None,
+    )
     rows = [
         (c.core, c.workload, c.l2_accesses, f"{c.miss_rate:.3f}",
          f"{c.mpki:.2f}", f"{c.cpi:.3f}")
@@ -363,7 +415,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
                            fault_plan=_fault_plan(args),
                            sanitize=args.sanitize,
                            trace=bool(args.trace))
-    tracer = Tracer() if args.trace else None
+    # the sink feeds 'repro watch' while the run grows; write_jsonl then
+    # atomically replaces it with the complete durable stream
+    tracer = Tracer(sink=args.trace) if args.trace else None
     if tracer is not None:
         tracer.emit_run_meta("compare", detail=str(mix))
     comp = compare_schemes(mix, cfg, settings, jobs=args.jobs, tracer=tracer)
@@ -385,6 +439,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
         if result.guard_events:
             print(f"\n[{scheme}]", end="")
             _print_guard_events(result.guard_events)
+    _store_run(
+        args,
+        source="compare",
+        config=cfg,
+        workloads=mix.names,
+        settings={"duration_cycles": args.duration, "seed": args.seed,
+                  "scale": args.scale, "epoch_cycles": args.epoch,
+                  "jobs": args.jobs},
+        headline=headline_from_comparison(comp),
+        trace_events=tracer.events if tracer is not None else None,
+    )
     return 0
 
 
@@ -405,7 +470,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"rev {payload['git_rev']})",
     ))
     print(f"report: {args.output}")
-    return 0
+    gate = None
+    if args.baseline:
+        baseline = load_report(args.baseline)
+        gate = gate_report(payload, baseline, gate_pct=args.gate_pct)
+        print()
+        print(render_gate_text(gate))
+    if args.history:
+        append_history(args.history, payload, gate)
+        print(f"history: {args.history}")
+    return 1 if gate is not None and gate.failed else 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -449,7 +523,8 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
     cfg = _machine(args)
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint PATH")
-    tracer = Tracer() if args.trace else None
+    # live sink for 'repro watch'; write_jsonl atomically finalises it
+    tracer = Tracer(sink=args.trace) if args.trace else None
     result = run_monte_carlo(
         args.mixes,
         cfg,
@@ -479,7 +554,75 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
     ))
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
+    _store_run(
+        args,
+        source="montecarlo",
+        config=cfg,
+        settings={"mixes": args.mixes, "seed": args.seed,
+                  "profile_accesses": args.accesses, "jobs": args.jobs,
+                  "scale": args.scale, "epoch_cycles": args.epoch},
+        headline=headline_from_montecarlo(result),
+        trace_events=tracer.events if tracer is not None else None,
+    )
     return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    if args.action == "list":
+        records = store.list()
+        if not records:
+            print(f"no runs stored under {store.root}")
+            return 0
+        rows = []
+        for r in records:
+            m = r.manifest
+            trace = (
+                f"{m.get('trace_events')} events" if m.get("trace") else "-"
+            )
+            rows.append(
+                (r.run_id, m.get("created", "?"), m.get("git_rev", "?"),
+                 m.get("config_fingerprint", "?")[:8], trace)
+            )
+        print(format_table(
+            ["run id", "created (UTC)", "rev", "config", "trace"], rows,
+            title=f"run store {store.root} ({len(records)} runs)",
+        ))
+        return 0
+    # action == "show"
+    if not args.run_id:
+        raise SystemExit("'repro runs show' needs a run id (see 'runs list')")
+    record = store.get(args.run_id)
+    print(json.dumps(record.manifest, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    path_a = store.resolve_trace(args.a)
+    path_b = store.resolve_trace(args.b)
+    report = diff_traces(
+        read_jsonl(path_a),
+        read_jsonl(path_b),
+        rel_tol=args.rel_tol,
+        abs_tol=args.abs_tol,
+        a_label=args.a,
+        b_label=args.b,
+    )
+    if args.format == "json":
+        print(render_diff_json(report))
+    else:
+        print(render_diff_text(report))
+    return report.exit_code
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    return watch_trace(
+        args.trace,
+        interval=args.interval,
+        once=args.once,
+        timeout=args.timeout,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -534,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_fault_args(p)
         _add_sanitize_arg(p)
         _add_trace_arg(p)
+        _add_store_arg(p)
         _add_machine_args(p)
         if name == "compare":
             _add_jobs_arg(p)
@@ -557,6 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default dir: $REPRO_PROFILE_CACHE or "
                         "~/.cache/repro/profiles)")
     _add_trace_arg(p)
+    _add_store_arg(p)
     _add_jobs_arg(p)
     _add_machine_args(p)
     p.set_defaults(fn=cmd_montecarlo)
@@ -583,8 +728,68 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CI-sized suite (seconds instead of minutes)")
     p.add_argument("--output", default="BENCH_sweep.json", metavar="PATH",
                    help="report path (default: BENCH_sweep.json)")
+    p.add_argument("--baseline", metavar="REPORT",
+                   help="gate this run against a stored repro-bench report "
+                        "(e.g. the committed BENCH_sweep.json); exits 1 on "
+                        "regression")
+    p.add_argument("--gate-pct", type=_positive_float,
+                   default=DEFAULT_GATE_PCT, metavar="N",
+                   help="allowed throughput drop vs the baseline, percent "
+                        f"(default {DEFAULT_GATE_PCT:g})")
+    p.add_argument("--history", default="BENCH_history.jsonl",
+                   metavar="PATH",
+                   help="perf-ledger path this run (and its gate verdict) "
+                        "is appended to (default: BENCH_history.jsonl)")
+    p.add_argument("--no-history", dest="history", action="store_const",
+                   const=None, help="skip the perf-ledger append")
     _add_jobs_arg(p)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "runs",
+        help="query the run store populated by --store runs",
+    )
+    p.add_argument("action", choices=("list", "show"),
+                   help="'list' every archived run, or 'show' one manifest")
+    p.add_argument("run_id", nargs="?",
+                   help="run id to show (from 'repro runs list')")
+    p.add_argument("--store", default=DEFAULT_STORE, metavar="DIR",
+                   help=f"run store root (default: {DEFAULT_STORE})")
+    p.set_defaults(fn=cmd_runs)
+
+    p = sub.add_parser(
+        "diff",
+        help="first-divergence comparison of two traces or stored runs",
+    )
+    p.add_argument("a", metavar="A",
+                   help="trace file or stored run id (baseline side)")
+    p.add_argument("b", metavar="B",
+                   help="trace file or stored run id (candidate side)")
+    p.add_argument("--rel-tol", type=float, default=0.0, metavar="R",
+                   help="relative tolerance for float metric fields "
+                        "(default 0 = exact, the determinism gate)")
+    p.add_argument("--abs-tol", type=float, default=0.0, metavar="A",
+                   help="absolute tolerance for float metric fields")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--store", default=DEFAULT_STORE, metavar="DIR",
+                   help="run store used to resolve run ids "
+                        f"(default: {DEFAULT_STORE})")
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser(
+        "watch",
+        help="live-monitor a growing trace (progress, throughput, ETA)",
+    )
+    p.add_argument("trace", metavar="TRACE",
+                   help="JSONL trace being written by a --trace run")
+    p.add_argument("--interval", type=_positive_float, default=1.0,
+                   metavar="S", help="poll interval in seconds (default 1)")
+    p.add_argument("--once", action="store_true",
+                   help="render one snapshot and exit")
+    p.add_argument("--timeout", type=_positive_float, default=None,
+                   metavar="S",
+                   help="give up (exit 1) after S seconds without completion")
+    p.set_defaults(fn=cmd_watch)
 
     p = sub.add_parser(
         "lint",

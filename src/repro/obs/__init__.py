@@ -1,0 +1,82 @@
+"""repro.obs — the run observatory: consumption side of the telemetry stack.
+
+Where :mod:`repro.telemetry` *emits* (schema-stable JSONL traces, metric
+snapshots), this package *consumes* across runs:
+
+* :mod:`repro.obs.store` — archive runs with provenance (config
+  fingerprint, git rev, mix, headline results, trace) under a queryable
+  run store (``repro runs list|show``, ``--store`` on the run commands);
+* :mod:`repro.obs.diff`  — first-divergence trace diffing with Rules 1–3
+  annotations and tolerance-gated metric deltas (``repro diff``), which
+  doubles as the serial-vs-parallel determinism gate;
+* :mod:`repro.obs.watch` — incremental tail reading of a growing trace
+  with throughput/ETA from progress heartbeats (``repro watch``);
+* :mod:`repro.obs.gate`  — bench regression gating against a committed
+  baseline plus the append-only ``BENCH_history.jsonl`` perf ledger
+  (``repro bench --baseline --gate-pct``).
+
+Everything here is read-side tooling: importing or using it never touches
+a simulation's hot path, so the zero-overhead-when-off contract of the
+telemetry layer is untouched.
+"""
+
+from repro.obs.diff import (
+    DiffReport,
+    Divergence,
+    FieldDiff,
+    MetricDelta,
+    diff_traces,
+    render_diff_json,
+    render_diff_text,
+)
+from repro.obs.errors import ObsError
+from repro.obs.gate import (
+    DEFAULT_GATE_PCT,
+    GateEntry,
+    GateResult,
+    append_history,
+    gate_report,
+    load_report,
+    render_gate_text,
+)
+from repro.obs.store import (
+    DEFAULT_STORE,
+    RunRecord,
+    RunStore,
+    config_fingerprint,
+    git_rev,
+    headline_from_comparison,
+    headline_from_montecarlo,
+    headline_from_result,
+)
+from repro.obs.watch import TailChunk, TailReader, WatchView, watch_trace
+
+__all__ = [
+    "DEFAULT_GATE_PCT",
+    "DEFAULT_STORE",
+    "DiffReport",
+    "Divergence",
+    "FieldDiff",
+    "GateEntry",
+    "GateResult",
+    "MetricDelta",
+    "ObsError",
+    "RunRecord",
+    "RunStore",
+    "TailChunk",
+    "TailReader",
+    "WatchView",
+    "append_history",
+    "config_fingerprint",
+    "diff_traces",
+    "gate_report",
+    "git_rev",
+    "headline_from_comparison",
+    "headline_from_montecarlo",
+    "headline_from_result",
+    "load_report",
+    "render_diff_json",
+    "render_diff_text",
+    "render_gate_text",
+    "watch_trace",
+]

@@ -1,0 +1,201 @@
+"""Bench regression gates and the perf history ledger.
+
+``repro bench --baseline BENCH_sweep.json --gate-pct N`` compares a fresh
+``repro-bench`` report against a stored baseline: every benchmark's
+throughput must stay within ``N`` percent of the baseline's, a benchmark
+missing from the current report fails the gate outright, and every gated
+(or ungated) run appends one line to ``BENCH_history.jsonl`` so the perf
+trajectory accumulates across commits.
+
+Throughputs are wall-clock derived and therefore machine-dependent: the
+gate is meaningful against a baseline from comparable hardware, which is
+why CI uses a deliberately loose percentage (catching collapses, not
+noise) while a developer re-baselining locally can gate tightly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.errors import ObsError
+
+#: default allowed throughput drop before the gate fails, percent.
+DEFAULT_GATE_PCT = 10.0
+
+HISTORY_NAME = "BENCH_history.jsonl"
+
+
+def load_report(path: str | Path) -> dict:
+    """Load and shape-check one ``repro-bench`` JSON report."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ObsError(f"cannot read bench report {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ObsError(f"{path}: not valid JSON: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != "repro-bench"
+        or not isinstance(payload.get("benchmarks"), list)
+    ):
+        raise ObsError(f"{path}: not a repro-bench report")
+    return payload
+
+
+def _by_name(report: Mapping) -> dict[str, dict]:
+    return {
+        b["name"]: b
+        for b in report.get("benchmarks", [])
+        if isinstance(b, dict) and "name" in b
+    }
+
+
+@dataclass(frozen=True)
+class GateEntry:
+    """One benchmark's verdict against the baseline."""
+
+    name: str
+    baseline_throughput: float
+    current_throughput: float
+    delta_pct: float  #: positive = faster than baseline
+    regressed: bool
+
+
+@dataclass
+class GateResult:
+    """Outcome of gating one report against one baseline."""
+
+    gate_pct: float
+    baseline_rev: str
+    current_rev: str
+    entries: list[GateEntry] = field(default_factory=list)
+    #: benchmarks present in the baseline but absent from the current
+    #: report — treated as failures (a silently dropped benchmark must
+    #: not pass the gate).
+    missing: list[str] = field(default_factory=list)
+    #: benchmarks new in the current report (informational).
+    added: list[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.missing) or any(e.regressed for e in self.entries)
+
+    @property
+    def regressions(self) -> list[str]:
+        return [e.name for e in self.entries if e.regressed]
+
+    def to_dict(self) -> dict:
+        return {
+            "gate_pct": self.gate_pct,
+            "baseline_rev": self.baseline_rev,
+            "current_rev": self.current_rev,
+            "failed": self.failed,
+            "regressions": self.regressions,
+            "missing": self.missing,
+            "added": self.added,
+            "entries": [
+                {
+                    "name": e.name,
+                    "baseline_throughput": e.baseline_throughput,
+                    "current_throughput": e.current_throughput,
+                    "delta_pct": e.delta_pct,
+                    "regressed": e.regressed,
+                }
+                for e in self.entries
+            ],
+        }
+
+
+def gate_report(
+    current: Mapping,
+    baseline: Mapping,
+    *,
+    gate_pct: float = DEFAULT_GATE_PCT,
+) -> GateResult:
+    """Compare a current bench report against a baseline.
+
+    A benchmark regresses when its throughput falls more than
+    ``gate_pct`` percent below the baseline's.  Throughput (work per
+    second) is the gated figure rather than wall seconds so suites whose
+    workload sizes differ per entry stay comparable run-to-run.
+    """
+    if gate_pct <= 0:
+        raise ObsError(f"gate percentage must be positive, got {gate_pct}")
+    cur, base = _by_name(current), _by_name(baseline)
+    result = GateResult(
+        gate_pct=gate_pct,
+        baseline_rev=str(baseline.get("git_rev", "unknown")),
+        current_rev=str(current.get("git_rev", "unknown")),
+        missing=sorted(set(base) - set(cur)),
+        added=sorted(set(cur) - set(base)),
+    )
+    for name in sorted(set(cur) & set(base)):
+        base_tp = float(base[name].get("throughput", 0.0))
+        cur_tp = float(cur[name].get("throughput", 0.0))
+        if base_tp > 0:
+            delta_pct = 100.0 * (cur_tp - base_tp) / base_tp
+        else:
+            delta_pct = 0.0
+        result.entries.append(
+            GateEntry(
+                name, base_tp, cur_tp, delta_pct,
+                regressed=delta_pct < -gate_pct,
+            )
+        )
+    return result
+
+
+def append_history(
+    path: str | Path, report: Mapping, gate: GateResult | None = None
+) -> dict:
+    """Append one run's digest to the perf-history ledger (JSONL).
+
+    The ledger is an append-only log (plain append, not atomic replace —
+    losing a torn final line to a crash costs one data point, not the
+    history), one object per bench invocation: git revision, suite,
+    per-benchmark wall/throughput, and the gate verdict when one ran.
+    """
+    record = {
+        "git_rev": report.get("git_rev", "unknown"),
+        "suite": report.get("suite"),
+        "jobs": report.get("jobs"),
+        "benchmarks": {
+            name: {
+                "wall_s": entry.get("wall_s"),
+                "throughput": entry.get("throughput"),
+                "unit": entry.get("unit"),
+            }
+            for name, entry in _by_name(report).items()
+        },
+        "gate": gate.to_dict() if gate is not None else None,
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def render_gate_text(result: GateResult) -> str:
+    """Human-readable gate verdict."""
+    lines = [
+        f"bench gate: baseline rev {result.baseline_rev}, current rev "
+        f"{result.current_rev}, allowed drop {result.gate_pct:g}%"
+    ]
+    for e in result.entries:
+        flag = "REGRESSED" if e.regressed else "ok"
+        lines.append(
+            f"  {e.name}: {e.baseline_throughput:,.0f} -> "
+            f"{e.current_throughput:,.0f} ({e.delta_pct:+.1f}%) [{flag}]"
+        )
+    for name in result.missing:
+        lines.append(f"  {name}: MISSING from current report")
+    for name in result.added:
+        lines.append(f"  {name}: new benchmark (no baseline)")
+    lines.append(
+        "gate verdict: " + ("FAILED" if result.failed else "passed")
+    )
+    return "\n".join(lines)

@@ -10,7 +10,10 @@ A fixed micro/meso benchmark ladder over the reproduction's hot paths:
 * ``montecarlo_slice``      — a slice of the Fig. 7 sweep (profile reuse,
   partitioning algorithms, checkpoint-format serialisation);
 * ``detailed_epoch``        — one detailed simulation through several
-  repartitioning epochs.
+  repartitioning epochs;
+* ``tracer_extend``         — parent-side merge of a worker event stream
+  via the ``pre_validated`` fast path, with the re-validating merge
+  measured alongside so the traced-overhead delta stays visible.
 
 Every run writes a schema-stable JSON report (format/version/suite/git
 rev, per-benchmark wall-clock seconds and throughput) so successive
@@ -23,7 +26,6 @@ from __future__ import annotations
 
 import json
 import platform
-import subprocess
 import time
 from pathlib import Path
 
@@ -31,6 +33,8 @@ import numpy as np
 
 from repro.analysis.montecarlo import collect_profiles, run_monte_carlo
 from repro.config import scaled_config
+from repro.obs.store import git_rev
+from repro.telemetry.tracer import Tracer
 from repro.util.atomic_write import atomic_write_text
 from repro.profiling.msa import MSAProfiler
 from repro.sim.runner import RunSettings, run_mix
@@ -44,21 +48,6 @@ VERSION = 1
 #: workloads for the quick (CI smoke) profiling benchmarks — a reuse-heavy
 #: to streaming spread, so the batched kernel sees realistic window shapes.
 QUICK_WORKLOADS = ("bzip2", "swim", "mcf", "art", "crafty", "equake")
-
-
-def _git_rev() -> str:
-    try:
-        proc = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=Path(__file__).resolve().parent,
-            capture_output=True,
-            text=True,
-            timeout=10,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
-    rev = proc.stdout.strip()
-    return rev if proc.returncode == 0 and rev else "unknown"
 
 
 def _entry(
@@ -171,6 +160,42 @@ def _bench_detailed(quick: bool) -> dict:
     )
 
 
+def _bench_tracer_merge(quick: bool) -> dict:
+    """Parent-side merge throughput of a pre-validated worker stream.
+
+    Measures ``Tracer.extend`` both ways over the same synthetic worker
+    stream: the ``pre_validated`` fast path (what ``compare_schemes`` and
+    ``run_sweep`` use, since workers validate on emit) and the
+    re-validating merge it replaced, so the report carries the measured
+    overhead delta of per-event schema validation.
+    """
+    events = 20_000 if quick else 100_000
+    worker = Tracer()
+    for i in range(events):
+        worker.emit(
+            "epoch_decision", time=float(i), epoch=i,
+            algorithm="bank-aware", ways=[4, 4, 8, 8, 4, 4, 8, 8],
+            projected_misses=[100.0 + i] * 8,
+        )
+
+    t0 = time.perf_counter()
+    fast = Tracer()
+    fast.extend(worker.events, scheme="bench", pre_validated=True)
+    fast_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    revalidating = Tracer()
+    revalidating.extend(worker.events, scheme="bench")
+    revalidate_wall = time.perf_counter() - t0
+
+    return _entry(
+        "tracer_extend", fast_wall, events / fast_wall, "events/s",
+        events=events,
+        revalidate_wall_s=round(revalidate_wall, 6),
+        speedup_vs_revalidate=round(revalidate_wall / fast_wall, 2),
+    )
+
+
 def run_bench_suite(
     *, quick: bool = False, jobs: int | None = None, output: str | Path
 ) -> dict:
@@ -180,11 +205,12 @@ def run_bench_suite(
     benchmarks = _bench_profiling(quick)
     benchmarks.append(_bench_montecarlo(quick, jobs, target.parent))
     benchmarks.append(_bench_detailed(quick))
+    benchmarks.append(_bench_tracer_merge(quick))
     payload = {
         "format": FORMAT,
         "version": VERSION,
         "suite": "quick" if quick else "full",
-        "git_rev": _git_rev(),
+        "git_rev": git_rev(),
         "host": {
             "python": platform.python_version(),
             "numpy": np.__version__,

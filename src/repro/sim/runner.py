@@ -25,6 +25,7 @@ from repro.resilience.faults import FaultPlan
 from repro.sim.stats import SystemResult
 from repro.sim.system import DETAILED_SCHEMES, CMPSystem
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timing import wall_clock
 from repro.telemetry.tracer import Tracer
 from repro.util.stats import relative
 from repro.workloads.mixes import Mix
@@ -218,7 +219,9 @@ def compare_schemes(
         ),
     ):
         if tracer is not None:
-            tracer.extend(res.events, scheme=scheme)
+            # worker-side tracers validated every event on emit, so the
+            # merge takes the pre-validated fast path
+            tracer.extend(res.events, scheme=scheme, pre_validated=True)
         results[scheme] = res
     return SchemeComparison(mix, results)
 
@@ -299,6 +302,8 @@ def run_sweep(
     )
     try:
         gathered: dict[str, SystemResult] = {}
+        heartbeat = max(1, len(todo) // 100)
+        start = wall_clock() if tracer is not None else 0.0
         for (mix, scheme), res in zip(
             items,
             executor.map_ordered(
@@ -307,13 +312,23 @@ def run_sweep(
             ),
         ):
             if tracer is not None:
-                tracer.extend(res.events, scheme=f"{mix}:{scheme}")
+                tracer.extend(
+                    res.events, scheme=f"{mix}:{scheme}", pre_validated=True
+                )
             gathered[scheme] = res
             if len(gathered) == len(schemes):
                 comp = SchemeComparison(mix, gathered)
                 gathered = {}
                 out.append(comp)
                 ckpt.record({s: r.to_dict() for s, r in comp.results.items()})
+                done = len(out)
+                if tracer is not None and (
+                    done % heartbeat == 0 or done == len(mixes)
+                ):
+                    tracer.emit(
+                        "progress", done=done, total=len(mixes),
+                        source="sweep", wall_s=wall_clock() - start,
+                    )
     finally:
         ckpt.save()
     return out

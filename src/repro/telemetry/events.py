@@ -115,11 +115,20 @@ EVENT_SCHEMAS: dict[str, dict[str, FieldSpec]] = {
         "bank_aware_misses": _NUM,
         "ways": _LIST,
     },
-    # one sweep work item's observed completion latency (wall clock — the
-    # only non-deterministic field in the catalogue).
+    # one sweep work item's observed completion latency (wall clock).
     "sweep_item": {
         "index": _INT,
         "label": _STR,
+        "wall_s": _WALL,
+    },
+    # periodic sweep heartbeat, emitted parent-side at yield points every
+    # fixed number of completed items — deterministic fields agree between
+    # serial and parallel runs; ``wall_s`` (elapsed seconds since the sweep
+    # began) feeds `repro watch` throughput/ETA and is wall clock.
+    "progress": {
+        "done": _INT,
+        "total": _INT,
+        "source": _STR,  #: 'montecarlo' | 'sweep'
         "wall_s": _WALL,
     },
 }

@@ -1,0 +1,425 @@
+"""The run observatory: store, diff, watch, gate, and their CLI surface.
+
+The load-bearing contracts: a stored run's manifest binds results to
+their provenance; ``repro diff`` finds the *first* canonical divergence
+and exits non-zero on any (making it the serial-vs-parallel determinism
+gate); the tail reader survives both a writer mid-append and the final
+atomic replace; the bench gate fails on throughput collapse and on
+silently dropped benchmarks.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.config import scaled_config
+from repro.obs import (
+    ObsError,
+    RunStore,
+    TailReader,
+    WatchView,
+    append_history,
+    config_fingerprint,
+    diff_traces,
+    gate_report,
+    load_report,
+    render_diff_text,
+    watch_trace,
+)
+from repro.telemetry import Tracer, read_jsonl, write_jsonl
+
+CFG = scaled_config(32, epoch_cycles=150_000)
+
+
+def _decision_stream(n=3, *, way_bump_at=None, extra_events=0):
+    """A small valid trace: run_meta + n epoch decisions (+ tail skips)."""
+    t = Tracer()
+    t.emit_run_meta("simulate", detail="obs test")
+    for epoch in range(n):
+        ways = [4, 4, 8, 8, 4, 4, 8, 8]
+        if way_bump_at == epoch:
+            ways = [5, 3] + ways[2:]
+        t.emit(
+            "epoch_decision", time=float(epoch), epoch=epoch,
+            algorithm="bank-aware", ways=ways,
+            projected_misses=[100.0 + epoch] * 8,
+        )
+    for i in range(extra_events):
+        t.emit("epoch_skip", time=float(n + i), epoch=n + i, reason="warmup")
+    return t.events
+
+
+# ---------------------------------------------------------------------------
+# run store
+# ---------------------------------------------------------------------------
+
+
+class TestRunStore:
+    def test_archive_list_get_round_trip(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        events = _decision_stream()
+        record = store.archive(
+            source="simulate", config=CFG, workloads=["bzip2"] * 8,
+            settings={"seed": 7}, headline={"miss_rate": 0.25},
+            trace_events=events,
+        )
+        assert record.run_id.startswith("simulate-")
+        manifest = record.manifest
+        assert manifest["format"] == "repro-run-manifest"
+        assert manifest["config_fingerprint"] == config_fingerprint(CFG)
+        assert len(manifest["config_fingerprint"]) == 16
+        assert manifest["headline"] == {"miss_rate": 0.25}
+        assert manifest["trace_events"] == len(events)
+        assert read_jsonl(record.trace_path) == events
+
+        listed = store.list()
+        assert [r.run_id for r in listed] == [record.run_id]
+        fetched = store.get(record.run_id)
+        assert fetched.manifest == manifest
+        assert store.resolve_trace(record.run_id) == record.trace_path
+
+    def test_untraced_archive_has_no_trace(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        record = store.archive(source="montecarlo", config=CFG)
+        assert record.manifest["trace"] is None
+        assert record.trace_path is None
+        with pytest.raises(ObsError, match="without a trace"):
+            store.resolve_trace(record.run_id)
+
+    def test_colliding_run_ids_get_suffixes(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        first = store.archive(source="compare", config=CFG)
+        second = store.archive(source="compare", config=CFG)
+        assert first.run_id != second.run_id
+        assert len(store.list()) == 2
+
+    def test_get_unknown_run_raises(self, tmp_path):
+        with pytest.raises(ObsError, match="no run"):
+            RunStore(tmp_path / "runs").get("nope")
+
+    def test_list_skips_damaged_manifests(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        good = store.archive(source="simulate", config=CFG)
+        bad = tmp_path / "runs" / "broken"
+        bad.mkdir()
+        (bad / "manifest.json").write_text("{nope", encoding="utf-8")
+        assert [r.run_id for r in store.list()] == [good.run_id]
+
+    def test_resolve_trace_prefers_paths(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        write_jsonl(trace, _decision_stream())
+        assert RunStore(tmp_path / "runs").resolve_trace(str(trace)) == trace
+
+
+# ---------------------------------------------------------------------------
+# first-divergence diff
+# ---------------------------------------------------------------------------
+
+
+class TestDiff:
+    def test_identical_streams(self):
+        a, b = _decision_stream(), _decision_stream()
+        report = diff_traces(a, b)
+        assert report.divergence is None
+        assert report.identical
+        assert report.exit_code == 0
+        assert "no divergence" in render_diff_text(report)
+
+    def test_wall_clock_jitter_is_not_divergence(self):
+        t = Tracer()
+        t.emit("sweep_item", index=0, label="a", wall_s=0.25)
+        u = Tracer()
+        u.emit("sweep_item", index=0, label="a", wall_s=99.0)
+        assert diff_traces(t.events, u.events).identical
+
+    def test_first_divergence_names_epoch_and_cores(self):
+        a = _decision_stream(3)
+        b = _decision_stream(3, way_bump_at=1)
+        report = diff_traces(a, b, a_label="serial", b_label="parallel")
+        d = report.divergence
+        assert d is not None
+        assert report.exit_code == 1
+        assert d.epoch == 1
+        assert d.index == 2  # run_meta, decision 0, then the bumped one
+        ways = [f for f in d.fields if f.name == "ways"]
+        assert ways and ways[0].positions == (0, 1)
+        assert "Rules 1-3" in ways[0].note
+        text = render_diff_text(report)
+        assert "FIRST DIVERGENCE at event #2" in text
+        assert "serial" in text and "parallel" in text
+
+    def test_divergence_stops_at_the_first_difference(self):
+        # two perturbed epochs: only the earlier one is reported
+        a = _decision_stream(4)
+        b = _decision_stream(4, way_bump_at=2)
+        b = [dict(e) for e in b]
+        b[-1]["epoch"] = 99  # later difference must not win
+        report = diff_traces(a, b)
+        assert report.divergence.epoch == 2
+
+    def test_length_mismatch_after_common_prefix(self):
+        a = _decision_stream(3)
+        b = _decision_stream(3, extra_events=2)
+        report = diff_traces(a, b)
+        assert report.divergence.kind == "length"
+        assert report.exit_code == 1
+
+    def test_metric_tolerances(self):
+        def mc_stream(misses):
+            t = Tracer()
+            t.emit_run_meta("monte-carlo")
+            t.emit("mc_point", index=0, mix=["bzip2"] * 8,
+                   equal_misses=100.0, unrestricted_misses=misses,
+                   bank_aware_misses=misses, ways=[8] * 8)
+            return t.events
+
+        a, b = mc_stream(100.0), mc_stream(100.0000001)
+        strict = diff_traces(a, b)
+        assert strict.exit_code == 1
+        loose = diff_traces(a, b, rel_tol=1e-6)
+        assert loose.exit_code == 0
+        assert loose.waived > 0
+
+
+# ---------------------------------------------------------------------------
+# tail reader / watch
+# ---------------------------------------------------------------------------
+
+
+def _line(event: dict) -> bytes:
+    return json.dumps(event).encode() + b"\n"
+
+
+class TestTailReader:
+    EV = {"type": "epoch_skip", "seq": 0, "time": 1.0, "epoch": 0,
+          "reason": "warmup"}
+
+    def test_partial_trailing_line_waits_for_the_writer(self, tmp_path):
+        path = tmp_path / "grow.jsonl"
+        full = _line(self.EV)
+        path.write_bytes(full + full[:10])  # second event half-written
+        reader = TailReader(path)
+        assert reader.poll().events == [self.EV]
+        # nothing new, partial line still pending
+        assert reader.poll().events == []
+        with open(path, "ab") as fh:
+            fh.write(full[10:])
+        assert reader.poll().events == [self.EV]
+
+    def test_offset_is_resumable(self, tmp_path):
+        path = tmp_path / "grow.jsonl"
+        path.write_bytes(_line(self.EV))
+        reader = TailReader(path)
+        assert len(reader.poll().events) == 1
+        with open(path, "ab") as fh:
+            fh.write(_line(dict(self.EV, seq=1)))
+            fh.write(_line(dict(self.EV, seq=2)))
+        chunk = reader.poll()
+        assert [e["seq"] for e in chunk.events] == [1, 2]
+        assert not chunk.reset
+
+    def test_atomic_replace_resets_the_stream(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_bytes(_line(self.EV) * 3)
+        reader = TailReader(path)
+        assert len(reader.poll().events) == 3
+        # the finalising write_jsonl swaps in a fresh inode
+        final = [dict(self.EV, seq=i) for i in range(2)]
+        write_jsonl(path, final)
+        chunk = reader.poll()
+        assert chunk.reset
+        assert reader.resets == 1
+        assert [e["seq"] for e in chunk.events] == [0, 1]
+
+    def test_missing_file_is_empty_not_an_error(self, tmp_path):
+        reader = TailReader(tmp_path / "nope.jsonl")
+        assert reader.poll().events == []
+
+    def test_damaged_complete_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_bytes(b'{"type": broken}\n')
+        with pytest.raises(ObsError, match="damaged trace line"):
+            TailReader(path).poll()
+
+
+class TestWatch:
+    def test_view_aggregates_progress_and_guards(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = Tracer()
+        t.emit_run_meta("montecarlo")
+        t.emit("guard_action", time=1.0, epoch=0, kind="fallback",
+               detail="x", mode="equal-share")
+        t.emit("progress", done=2, total=4, source="montecarlo", wall_s=1.0)
+        t.write_jsonl(path)
+        reader, view = TailReader(path), WatchView()
+        view.update(reader.poll())
+        assert view.total_events == 3
+        assert view.guard_kinds == {"fallback": 1}
+        assert not view.complete
+        rendered = view.render()
+        assert "2/4 (50.0%)" in rendered
+        assert "ETA" in rendered
+        assert "fallback=1" in rendered
+
+    def test_watch_trace_completes_on_final_heartbeat(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = Tracer()
+        t.emit("progress", done=4, total=4, source="sweep", wall_s=2.0)
+        t.write_jsonl(path)
+        out = []
+        assert watch_trace(path, once=True, emit=out.append) == 0
+        assert watch_trace(path, interval=0.01, emit=out.append) == 0
+        assert any("complete" in line for line in out)
+
+    def test_watch_trace_times_out_on_a_stalled_run(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = Tracer()
+        t.emit("progress", done=1, total=4, source="sweep", wall_s=2.0)
+        t.write_jsonl(path)
+        assert watch_trace(path, interval=0.01, timeout=0.05,
+                           emit=lambda _line: None) == 1
+
+
+# ---------------------------------------------------------------------------
+# bench gate
+# ---------------------------------------------------------------------------
+
+
+def _bench_payload(**throughputs):
+    return {
+        "format": "repro-bench",
+        "version": 1,
+        "suite": "quick",
+        "git_rev": "abc1234",
+        "jobs": None,
+        "benchmarks": [
+            {"name": name, "wall_s": 1.0, "throughput": tp, "unit": "x/s"}
+            for name, tp in throughputs.items()
+        ],
+    }
+
+
+class TestGate:
+    def test_within_gate_passes(self):
+        base = _bench_payload(msa=1000.0, mc=50.0)
+        cur = _bench_payload(msa=950.0, mc=51.0)
+        result = gate_report(cur, base, gate_pct=10.0)
+        assert not result.failed
+        assert [e.regressed for e in result.entries] == [False, False]
+
+    def test_regression_fails(self):
+        base = _bench_payload(msa=1000.0)
+        cur = _bench_payload(msa=800.0)
+        result = gate_report(cur, base, gate_pct=10.0)
+        assert result.failed
+        assert result.regressions == ["msa"]
+        assert result.entries[0].delta_pct == pytest.approx(-20.0)
+
+    def test_missing_benchmark_fails_added_is_informational(self):
+        base = _bench_payload(msa=1000.0, dropped=10.0)
+        cur = _bench_payload(msa=1000.0, brand_new=5.0)
+        result = gate_report(cur, base, gate_pct=10.0)
+        assert result.failed
+        assert result.missing == ["dropped"]
+        assert result.added == ["brand_new"]
+
+    def test_history_appends(self, tmp_path):
+        ledger = tmp_path / "hist.jsonl"
+        payload = _bench_payload(msa=1000.0)
+        append_history(ledger, payload)
+        gate = gate_report(payload, payload, gate_pct=10.0)
+        append_history(ledger, payload, gate)
+        lines = [json.loads(line) for line in
+                 ledger.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["gate"] is None
+        assert lines[1]["gate"]["failed"] is False
+        assert lines[1]["benchmarks"]["msa"]["throughput"] == 1000.0
+
+    def test_load_report_rejects_non_bench_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "other"}', encoding="utf-8")
+        with pytest.raises(ObsError, match="not a repro-bench report"):
+            load_report(path)
+        missing = tmp_path / "none.json"
+        with pytest.raises(ObsError, match="cannot read"):
+            load_report(missing)
+
+
+# ---------------------------------------------------------------------------
+# CLI integration: store + diff as the determinism gate
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    MC = ["montecarlo", "--mixes", "4", "--accesses", "3000",
+          "--scale", "32", "--epoch", "150000"]
+
+    @pytest.fixture(scope="class")
+    def traced_runs(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-runs")
+        serial = root / "serial.jsonl"
+        parallel = root / "parallel.jsonl"
+        store = root / "store"
+        assert cli_main(self.MC + ["--trace", str(serial),
+                                   "--store", str(store)]) == 0
+        assert cli_main(self.MC + ["--jobs", "2",
+                                   "--trace", str(parallel)]) == 0
+        return root
+
+    def test_store_and_runs_queries(self, traced_runs, capsys):
+        store = str(traced_runs / "store")
+        assert cli_main(["runs", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "montecarlo-" in out
+        run_id = next(
+            word for line in out.splitlines() for word in line.split()
+            if word.startswith("montecarlo-")
+        )
+        assert cli_main(["runs", "show", run_id, "--store", store]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["headline"]["mixes"] == 4
+        assert manifest["trace"] == "trace.jsonl"
+
+    def test_serial_vs_parallel_diff_gate(self, traced_runs, capsys):
+        code = cli_main(["diff", str(traced_runs / "serial.jsonl"),
+                         str(traced_runs / "parallel.jsonl")])
+        assert code == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_diff_resolves_stored_run_ids(self, traced_runs, capsys):
+        store = str(traced_runs / "store")
+        cli_main(["runs", "list", "--store", store])
+        out = capsys.readouterr().out
+        run_id = next(
+            word for line in out.splitlines() for word in line.split()
+            if word.startswith("montecarlo-")
+        )
+        assert cli_main(["diff", run_id, str(traced_runs / "parallel.jsonl"),
+                         "--store", store]) == 0
+
+    def test_diff_exits_nonzero_on_divergence(self, traced_runs, capsys):
+        perturbed = traced_runs / "perturbed.jsonl"
+        events = read_jsonl(traced_runs / "serial.jsonl")
+        events = [dict(e) for e in events]
+        victim = next(e for e in events if e["type"] == "mc_point")
+        victim["ways"] = [w + 1 for w in victim["ways"]]
+        write_jsonl(perturbed, events)
+        code = cli_main(["diff", str(traced_runs / "serial.jsonl"),
+                         str(perturbed)])
+        assert code == 1
+        assert "FIRST DIVERGENCE" in capsys.readouterr().out
+
+    def test_watch_once(self, traced_runs, capsys):
+        assert cli_main(["watch", str(traced_runs / "serial.jsonl"),
+                         "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "progress: 4/4" in out
+
+    def test_untraced_store_archives_without_trace(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert cli_main(self.MC + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        assert cli_main(["runs", "list", "--store", str(store)]) == 0
+        assert "-" in capsys.readouterr().out  # trace column shows none

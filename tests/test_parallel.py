@@ -386,6 +386,7 @@ class TestBenchSuite:
             "trace_generation",
             "montecarlo_slice",
             "detailed_epoch",
+            "tracer_extend",
         ]
         for bench in on_disk["benchmarks"]:
             assert bench["wall_s"] > 0.0

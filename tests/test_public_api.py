@@ -11,12 +11,16 @@ PACKAGES = [
     "repro.coherence",
     "repro.config",
     "repro.cpu",
+    "repro.lint",
     "repro.mem",
     "repro.noc",
+    "repro.obs",
+    "repro.parallel",
     "repro.partitioning",
     "repro.profiling",
     "repro.resilience",
     "repro.sim",
+    "repro.telemetry",
     "repro.util",
     "repro.workloads",
 ]

@@ -7,6 +7,7 @@ the wall-clock fields the schema marks non-deterministic).
 """
 
 import json
+import math
 
 import pytest
 
@@ -14,6 +15,8 @@ from repro.analysis.montecarlo import collect_profiles, run_monte_carlo
 from repro.config import scaled_config
 from repro.sim.runner import RunSettings, compare_schemes, run_mix
 from repro.sim.stats import SystemResult
+from repro.telemetry import metrics
+from repro.telemetry.metrics import Histogram
 from repro.telemetry import (
     EVENT_SCHEMAS,
     SCHEMA_VERSION,
@@ -112,6 +115,72 @@ class TestTracer:
         write_jsonl(path, [])
         assert read_jsonl(path) == []
 
+    def test_write_jsonl_streams_large_traces(self, tmp_path):
+        # more events than one write chunk: the stream path must produce
+        # the same file as a whole-buffer write would
+        from repro.telemetry.tracer import WRITE_CHUNK_EVENTS
+
+        t = Tracer()
+        for i in range(WRITE_CHUNK_EVENTS + 7):
+            t.emit("epoch_skip", time=float(i), epoch=i, reason="warmup")
+        path = tmp_path / "big.jsonl"
+        t.write_jsonl(path)
+        assert read_jsonl(path) == t.events
+
+    def test_extend_pre_validated_skips_revalidation(self):
+        worker = Tracer()
+        worker.emit("epoch_skip", time=1.0, epoch=0, reason="warmup")
+        checked, trusted = Tracer(), Tracer()
+        checked.extend(worker.events, scheme="s")
+        trusted.extend(worker.events, scheme="s", pre_validated=True)
+        assert trusted.events == checked.events
+        # the fast path trusts the caller: a stream only a validating
+        # tracer could reject passes straight through
+        bogus = [{"type": "epoch_skip", "seq": 0, "time": 1.0, "epoch": 0}]
+        trusted.extend(bogus, pre_validated=True)
+        with pytest.raises(TelemetryError, match="missing required field"):
+            checked.extend(bogus)
+
+    def test_live_sink_appends_during_the_run(self, tmp_path):
+        sink = tmp_path / "live.jsonl"
+        t = Tracer(sink=sink, sink_flush_every=1)
+        t.emit_run_meta("simulate")
+        t.emit("epoch_skip", time=1.0, epoch=0, reason="warmup")
+        # both events already on disk while the run is still going
+        assert read_jsonl(sink) == t.events
+        t.emit("epoch_skip", time=2.0, epoch=1, reason="warmup")
+        assert read_jsonl(sink) == t.events
+        # finalisation atomically replaces the sink with the full stream
+        t.write_jsonl(sink)
+        assert read_jsonl(sink) == t.events
+        assert [p.name for p in tmp_path.iterdir()] == ["live.jsonl"]
+
+
+class TestProgressHeartbeats:
+    def test_montecarlo_emits_progress(self, curves_by_name):
+        tracer = Tracer()
+        run_monte_carlo(6, CFG, curves=curves_by_name, seed=9,
+                        tracer=tracer)
+        beats = tracer.select("progress")
+        assert beats, "no progress heartbeats in the stream"
+        assert all(b["source"] == "montecarlo" for b in beats)
+        assert beats[-1]["done"] == beats[-1]["total"] == 6
+        assert [b["done"] for b in beats] \
+            == sorted({b["done"] for b in beats})
+        assert check_trace(tracer.events) == []
+
+    def test_heartbeats_match_across_jobs(self, curves_by_name):
+        def run(jobs):
+            tracer = Tracer()
+            run_monte_carlo(5, CFG, curves=curves_by_name, seed=9,
+                            jobs=jobs, tracer=tracer)
+            return [
+                e for e in canonical_events(tracer.events)
+                if e["type"] == "progress"
+            ]
+
+        assert run(1) == run(2)
+
 
 class TestEventSchema:
     def test_canonical_events_strips_only_wall_clock(self):
@@ -153,9 +222,18 @@ class TestMetrics:
         snap = reg.snapshot()
         assert snap["counters"] == {"l2.hits": 15.0}
         assert snap["gauges"] == {"jobs": 4.0}
-        assert snap["histograms"]["wall"] == {
-            "count": 2, "total": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0,
-        }
+        wall = snap["histograms"]["wall"]
+        # exact moments, bucket-estimated percentiles
+        assert wall["count"] == 2
+        assert wall["total"] == 4.0
+        assert wall["min"] == 1.0
+        assert wall["max"] == 3.0
+        assert wall["mean"] == 2.0
+        # p50 lands in 1.0's bucket (within one growth factor above it);
+        # p95/p99 clamp to the exact observed max
+        assert 1.0 <= wall["p50"] <= 1.0 * metrics.BUCKET_GROWTH
+        assert wall["p95"] == 3.0
+        assert wall["p99"] == 3.0
 
     def test_counters_cannot_decrease(self):
         with pytest.raises(ValueError, match="cannot decrease"):
@@ -164,12 +242,63 @@ class TestMetrics:
     def test_empty_histogram_summary_is_finite(self):
         snap = MetricsRegistry().histogram("w").summary()
         assert snap == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
-                        "mean": 0.0}
+                        "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
     def test_snapshot_is_json_serialisable(self):
         reg = MetricsRegistry()
         reg.histogram("w").observe(2.5)
         assert json.loads(json.dumps(reg.snapshot())) == reg.snapshot()
+
+    def test_bucket_geometry_is_deterministic(self):
+        # boundaries derive from module constants only: same value, same
+        # bucket, on every run and host
+        assert metrics.bucket_index(0.0) == 0
+        assert metrics.bucket_index(metrics.BUCKET_SCALE) == 0
+        assert metrics.bucket_index(1e300) == metrics.MAX_BUCKET
+        for value in (1e-6, 0.003, 1.0, 7.5, 1e4):
+            index = metrics.bucket_index(value)
+            assert metrics.bucket_upper_bound(index) >= value
+            assert (
+                metrics.bucket_upper_bound(index - 1) < value
+                or index == 0
+            )
+
+    def test_quantiles_are_order_independent(self):
+        values = [0.001 * (i % 17 + 1) for i in range(100)]
+        a, b = Histogram("a"), Histogram("b")
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        assert a.summary() == b.summary()
+
+    def test_quantile_relative_error_is_bounded(self):
+        h = Histogram("w")
+        values = [0.0017 * 1.37 ** i for i in range(40)]
+        for v in values:
+            h.observe(v)
+        exact = sorted(values)
+        for q in (0.5, 0.95, 0.99):
+            # the bucket walk answers with the ceil(q*n)-th smallest value
+            true = exact[max(0, math.ceil(q * len(exact)) - 1)]
+            # one growth factor of slack each way (bucket width ~19 %)
+            assert true / metrics.BUCKET_GROWTH <= h.quantile(q) \
+                <= true * metrics.BUCKET_GROWTH
+
+    def test_identical_observations_collapse_every_quantile(self):
+        h = Histogram("w")
+        for _ in range(10):
+            h.observe(42.0)
+        summary = h.summary()
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 42.0
+
+    def test_quantile_rejects_bad_q(self):
+        h = Histogram("w")
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(0.0)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
 
 
 # ---------------------------------------------------------------------------
