@@ -1,0 +1,469 @@
+"""Pluggable execution backends for the sweep fabric.
+
+Three backends share one interface — ``map_ordered(fn, items, labels)``
+yielding results in item order, plus ``events``/``summary()`` for the
+run-store manifest:
+
+* ``inproc`` — the :class:`~repro.fabric.supervisor.Supervisor` pinned to
+  its serial rung: in-process execution with retries and quarantine, the
+  reference stream every other backend must reproduce bit-for-bit.
+* ``pool`` — the supervisor over a process pool: deadlines, broken-pool
+  degradation, the full ladder.
+* ``local-cluster`` — a shared-filesystem file queue.  The item index
+  space is sharded into contiguous ranges; each shard is a file in
+  ``shards/`` that a worker *claims* by ``os.rename`` into ``claims/``
+  (atomic on POSIX — exactly one winner, no locks) and completes by
+  atomically writing a checksummed result file into ``results/``.  The
+  driver re-enqueues shards whose results are missing (worker died
+  mid-shard) or fail their checksum (corrupted payload) for a bounded
+  number of rounds, then quarantines survivors.  Because completed shard
+  results live on disk keyed by range, a killed driver *resumes* by
+  validating what exists and recomputing only the rest.
+
+The cluster layout under ``root``::
+
+    queue.json                     # binds the queue to one sweep's meta
+    shards/shard-000016-000024.json   # claimable work (contiguous range)
+    claims/shard-000016-000024.json   # claimed, being computed
+    results/shard-000016-000024.json  # checksummed JSON payload
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any
+
+from repro.fabric.deadletter import DeadLetterLedger
+from repro.fabric.supervisor import (
+    Supervisor,
+    SupervisorPolicy,
+    emit_supervisor_event,
+)
+from repro.resilience.errors import ConfigError, PoisonItemError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+BACKENDS = ("inproc", "pool", "local-cluster")
+
+QUEUE_NAME = "queue.json"
+QUEUE_FORMAT = "repro-fabric-queue"
+RESULT_FORMAT = "repro-fabric-shard-result"
+VERSION = 1
+
+#: default items per local-cluster shard.
+DEFAULT_SHARD_SIZE = 8
+
+
+class SupervisedBackend:
+    """``inproc`` / ``pool``: a thin veneer over one Supervisor."""
+
+    def __init__(self, name: str, supervisor: Supervisor) -> None:
+        self.name = name
+        self.supervisor = supervisor
+
+    @property
+    def events(self) -> list[dict]:
+        return self.supervisor.events
+
+    def map_ordered(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        labels: Sequence[str] | None = None,
+    ) -> Iterator[Any]:
+        return self.supervisor.map_supervised(fn, items, labels=labels)
+
+    def summary(self) -> dict:
+        return {"backend": self.name, **self.supervisor.summary()}
+
+
+# -- local-cluster plumbing (module level: it pickles into workers) ----------
+
+
+def _shard_name(start: int, stop: int) -> str:
+    return f"shard-{start:06d}-{stop:06d}.json"
+
+
+def _parse_shard_name(name: str) -> tuple[int, int]:
+    stem = name.removeprefix("shard-").removesuffix(".json")
+    start_text, stop_text = stem.split("-")
+    return int(start_text), int(stop_text)
+
+
+def _payload_checksum(payload: list) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _atomic_json(path: Path, payload: dict) -> None:
+    # plain tmp+rename (not the fsync-everything helper): shard results are
+    # re-derivable, so losing one to a power cut only costs a recompute
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(payload), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _claim_next_shard(root: Path) -> tuple[int, int] | None:
+    """Atomically claim the lowest-range available shard (None = drained)."""
+    shards = sorted(p.name for p in (root / "shards").glob("shard-*.json"))
+    for name in shards:
+        try:
+            os.rename(root / "shards" / name, root / "claims" / name)
+        except (FileNotFoundError, OSError):
+            continue  # another worker won the rename race
+        return _parse_shard_name(name)
+    return None
+
+
+def _write_shard_result(
+    root: Path, start: int, stop: int, payload: list
+) -> None:
+    _atomic_json(
+        root / "results" / _shard_name(start, stop),
+        {
+            "format": RESULT_FORMAT,
+            "version": VERSION,
+            "start": start,
+            "stop": stop,
+            "payload": payload,
+            "checksum": _payload_checksum(payload),
+        },
+    )
+
+
+def read_shard_result(root: Path, start: int, stop: int) -> list | None:
+    """The validated payload of one shard result, or None if the file is
+    missing, torn, or fails its checksum."""
+    path = root / "results" / _shard_name(start, stop)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != RESULT_FORMAT
+        or payload.get("version") != VERSION
+        or payload.get("start") != start
+        or payload.get("stop") != stop
+        or not isinstance(payload.get("payload"), list)
+        or len(payload["payload"]) != stop - start
+        or payload.get("checksum") != _payload_checksum(payload["payload"])
+    ):
+        return None
+    return payload["payload"]
+
+
+def _cluster_worker(
+    root: str,
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    encode: Callable[[Any], Any] | None,
+    initializer: Callable[..., None] | None,
+    initargs: tuple,
+) -> int:
+    """One queue consumer: claim shards until the queue drains.
+
+    Runs in a worker process; everything it needs arrives pickled.
+    Returns the number of shards completed.
+    """
+    if initializer is not None:
+        initializer(*initargs)
+    rootp = Path(root)
+    done = 0
+    while True:
+        claim = _claim_next_shard(rootp)
+        if claim is None:
+            return done
+        start, stop = claim
+        payload = []
+        for i in range(start, stop):
+            result = fn(items[i])
+            payload.append(encode(result) if encode is not None else result)
+        _write_shard_result(rootp, start, stop, payload)
+        (rootp / "claims" / _shard_name(start, stop)).unlink(missing_ok=True)
+        done += 1
+
+
+class LocalClusterBackend:
+    """File-queue execution over a shared directory (see module docs)."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        jobs: int = 2,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        policy: SupervisorPolicy | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        encode: Callable[[Any], Any] | None = None,
+        decode: Callable[[Any], Any] | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        deadletter: DeadLetterLedger | None = None,
+        sweep: str = "",
+    ) -> None:
+        if shard_size < 1:
+            raise ConfigError(f"shard_size must be >= 1, got {shard_size}")
+        if jobs < 1:
+            raise ConfigError(f"local-cluster jobs must be >= 1, got {jobs}")
+        self.name = "local-cluster"
+        self.root = Path(root)
+        self.jobs = jobs
+        self.shard_size = shard_size
+        self.policy = policy or SupervisorPolicy()
+        self._initializer = initializer
+        self._initargs = initargs
+        self._encode = encode
+        self._decode = decode
+        self.tracer = tracer
+        self.metrics = metrics
+        self.deadletter = deadletter
+        self.sweep = sweep
+        self.events: list[dict] = []
+        self.quarantined_shards: list[tuple[int, int]] = []
+        self.rounds_used = 0
+
+    def _emit(self, kind: str, *, index: int, attempt: int,
+              label: str | None = None, detail: str | None = None) -> None:
+        emit_supervisor_event(
+            self.events, self.tracer, self.metrics,
+            kind=kind, index=index, attempt=attempt, label=label,
+            rung=self.name, detail=detail,
+        )
+
+    def summary(self) -> dict:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+        return {
+            "backend": self.name,
+            "actions": counts,
+            "rounds": self.rounds_used,
+            "shard_size": self.shard_size,
+            "quarantined_shards": [list(s) for s in self.quarantined_shards],
+        }
+
+    # -- queue management ----------------------------------------------------
+
+    def _shards(self, total: int) -> list[tuple[int, int]]:
+        return [
+            (start, min(start + self.shard_size, total))
+            for start in range(0, total, self.shard_size)
+        ]
+
+    def _prepare_queue(self, total: int, meta: dict) -> None:
+        """Create (or validate, on resume) the queue binding file."""
+        for sub in ("shards", "claims", "results"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+        binding = {
+            "format": QUEUE_FORMAT,
+            "version": VERSION,
+            "total": total,
+            "shard_size": self.shard_size,
+            "meta": meta,
+        }
+        queue_path = self.root / QUEUE_NAME
+        if queue_path.is_file():
+            try:
+                existing = json.loads(queue_path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:
+                existing = None
+            if existing != binding:
+                raise ConfigError(
+                    f"{queue_path}: queue belongs to a different sweep; "
+                    "refusing to mix shard results (use a fresh --cluster-root)"
+                )
+        else:
+            _atomic_json(queue_path, binding)
+
+    def _reconcile(self, shards: list[tuple[int, int]], round_no: int) -> int:
+        """Re-enqueue every shard without a valid result; count them."""
+        missing = 0
+        for start, stop in shards:
+            if read_shard_result(self.root, start, stop) is not None:
+                continue
+            missing += 1
+            name = _shard_name(start, stop)
+            result = self.root / "results" / name
+            if result.exists():
+                result.unlink()
+                self._emit(
+                    "retry", index=start, attempt=round_no,
+                    label=f"shard {start}:{stop}",
+                    detail="corrupt shard result discarded; recomputing",
+                )
+            claim = self.root / "claims" / name
+            shard = self.root / "shards" / name
+            if claim.exists():
+                # a worker died holding the claim; put it back
+                os.replace(claim, shard)
+                if round_no > 0:
+                    self._emit(
+                        "requeue", index=start, attempt=round_no,
+                        label=f"shard {start}:{stop}",
+                        detail="reclaimed from a dead worker",
+                    )
+            elif not shard.exists():
+                _atomic_json(shard, {"start": start, "stop": stop})
+        return missing
+
+    def _run_round(self, fn: Callable[[Any], Any], work: Sequence[Any]) -> None:
+        """Launch ``jobs`` queue consumers and wait for the queue to drain
+        (worker crashes are tolerated — the next reconcile pass re-enqueues
+        whatever they dropped)."""
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            futures = [
+                pool.submit(
+                    _cluster_worker, str(self.root), fn, work,
+                    self._encode, self._initializer, self._initargs,
+                )
+                for _ in range(self.jobs)
+            ]
+            for i, future in enumerate(futures):
+                try:
+                    future.result()
+                except BrokenProcessPool as exc:
+                    self._emit(
+                        "degrade", index=-1, attempt=self.rounds_used,
+                        detail=f"cluster worker pool broke: {exc}",
+                    )
+                    break
+                except Exception as exc:
+                    self._emit(
+                        "retry", index=-1, attempt=self.rounds_used,
+                        detail=f"cluster worker #{i} crashed: "
+                        f"{type(exc).__name__}: {exc}",
+                    )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- the ordered map -----------------------------------------------------
+
+    def map_ordered(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        *,
+        labels: Sequence[str] | None = None,
+        meta: dict | None = None,
+    ) -> Iterator[Any]:
+        """Compute every item via the file queue, yielding in item order.
+
+        Existing valid shard results under ``root`` are reused (that *is*
+        the resume path); the rest are computed in up to
+        ``policy.max_attempts`` reconcile/run rounds.
+        """
+        work = list(items)
+        total = len(work)
+        self._prepare_queue(total, meta or {})
+        shards = self._shards(total)
+        for round_no in range(self.policy.max_attempts):
+            missing = self._reconcile(shards, round_no)
+            if missing == 0:
+                break
+            self.rounds_used = round_no + 1
+            self._run_round(fn, work)
+        leftovers = [
+            (start, stop) for start, stop in shards
+            if read_shard_result(self.root, start, stop) is None
+        ]
+        for start, stop in leftovers:
+            label = f"shard {start}:{stop}"
+            if self.deadletter is not None:
+                self.deadletter.record(
+                    index=start, label=label,
+                    attempts=self.policy.max_attempts,
+                    error="no valid shard result after every round",
+                    sweep=self.sweep,
+                )
+            self._emit(
+                "quarantine", index=start,
+                attempt=self.policy.max_attempts, label=label,
+                detail="no valid shard result after every round",
+            )
+            self.quarantined_shards.append((start, stop))
+            if self.policy.on_poison == "raise":
+                raise PoisonItemError(
+                    f"{label} failed all {self.policy.max_attempts} rounds",
+                    index=start, label=label,
+                    attempts=self.policy.max_attempts,
+                )
+        dead = {
+            i for start, stop in self.quarantined_shards
+            for i in range(start, stop)
+        }
+        from repro.fabric.supervisor import QUARANTINED
+
+        for start, stop in shards:
+            if (start, stop) in self.quarantined_shards:
+                for _ in range(start, stop):
+                    yield QUARANTINED
+                continue
+            payload = read_shard_result(self.root, start, stop)
+            for encoded in payload:
+                yield (
+                    self._decode(encoded)
+                    if self._decode is not None
+                    else encoded
+                )
+        del dead
+
+
+def make_backend(
+    kind: str,
+    *,
+    jobs: int | None = None,
+    policy: SupervisorPolicy | None = None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    deadletter: DeadLetterLedger | None = None,
+    sweep: str = "",
+    cluster_root: str | Path | None = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    encode: Callable[[Any], Any] | None = None,
+    decode: Callable[[Any], Any] | None = None,
+) -> SupervisedBackend | LocalClusterBackend:
+    """Construct one execution backend by name (see :data:`BACKENDS`)."""
+    if kind == "local-cluster":
+        if cluster_root is None:
+            raise ConfigError(
+                "the local-cluster backend needs a cluster root directory"
+            )
+        return LocalClusterBackend(
+            cluster_root,
+            jobs=jobs if jobs else 2,
+            shard_size=shard_size,
+            policy=policy,
+            initializer=initializer,
+            initargs=initargs,
+            encode=encode,
+            decode=decode,
+            tracer=tracer,
+            metrics=metrics,
+            deadletter=deadletter,
+            sweep=sweep,
+        )
+    if kind in ("inproc", "pool"):
+        supervisor = Supervisor(
+            1 if kind == "inproc" else (jobs or 2),
+            policy=policy,
+            initializer=initializer,
+            initargs=initargs,
+            tracer=tracer,
+            metrics=metrics,
+            deadletter=deadletter,
+            sweep=sweep,
+        )
+        return SupervisedBackend(kind, supervisor)
+    raise ConfigError(f"unknown fabric backend {kind!r} (choose: {BACKENDS})")

@@ -1,0 +1,148 @@
+"""Chaos injection for the sweep fabric: break it on purpose, on a seed.
+
+The harness wraps a pure worker function so that chosen items misbehave
+the first time they run:
+
+* **crash** — raise :class:`InjectedWorkerCrash` (a survivable worker
+  exception: the supervisor retries the item);
+* **kill** — ``os._exit`` the worker process (a hard death: the pool
+  breaks, the supervisor degrades a ladder rung and requeues the
+  in-flight items);
+* **hang** — sleep far past the supervisor's deadline (the pool is
+  killed and the item resubmitted);
+* **poison** — crash on *every* attempt (the item is quarantined into
+  the dead-letter ledger).
+
+"First time" must hold across process boundaries *and* across a
+killed-and-resumed sweep, so one-shot faults are armed with marker files
+in a shared state directory: the first worker to reach the fault creates
+the marker with ``O_EXCL`` (atomic on POSIX) and misbehaves; every later
+attempt sees the marker and computes normally.  Poison faults take no
+marker — they fire every time.
+
+Items are addressed by *label* (their ``str()`` form), not by position,
+so the same plan means the same mixes before and after a resume.  Which
+labels get faulted is drawn from the same ``rng_stream`` seeding
+discipline as :mod:`repro.resilience.faults`, so a chaos run is itself
+an experiment: replaying the seed replays the failure schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.resilience.errors import ConfigError, ReproError
+from repro.util.rng import rng_stream
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """The exception an injected ``crash``/``poison`` fault raises."""
+
+
+class ChaosAbort(ReproError):
+    """The simulated ``kill -9`` of the *driver*: raised mid-sweep after a
+    configured number of completed items, leaving only the checkpoint."""
+
+
+def pick_labels(
+    labels: Sequence[str], count: int, seed: int, kind: str
+) -> tuple[str, ...]:
+    """Choose ``count`` distinct victim labels, seed-deterministically.
+
+    The stream is keyed by the fault kind so ``--kill 2 --hang 1`` picks
+    independent victims for each fault class.
+    """
+    if count <= 0:
+        return ()
+    if count > len(labels):
+        raise ConfigError(
+            f"cannot pick {count} {kind} victims from {len(labels)} items"
+        )
+    rng = rng_stream(seed, "chaos", kind)
+    picks = rng.choice(len(labels), size=count, replace=False)
+    return tuple(labels[i] for i in sorted(int(p) for p in picks))
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Which labels misbehave, how, and where the one-shot markers live."""
+
+    state_dir: str
+    crash_labels: tuple[str, ...] = ()
+    kill_labels: tuple[str, ...] = ()
+    hang_labels: tuple[str, ...] = ()
+    poison_labels: tuple[str, ...] = ()
+    #: how long an injected hang sleeps (pick >> the supervisor deadline).
+    hang_s: float = 60.0
+    #: driver-side abort once this many items have completed (None = never).
+    abort_after: int | None = None
+
+    def wrap(self, fn: Callable[[Any], Any]) -> "ChaosWrapped":
+        """The worker function with this plan's faults injected."""
+        return ChaosWrapped(fn, self)
+
+    def describe(self) -> dict:
+        """Manifest-ready digest of the injected fault schedule."""
+        return {
+            "crash": list(self.crash_labels),
+            "kill": list(self.kill_labels),
+            "hang": list(self.hang_labels),
+            "poison": list(self.poison_labels),
+            "hang_s": self.hang_s,
+            "abort_after": self.abort_after,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosWrapped:
+    """Picklable chaos-injecting wrapper around a pure worker function."""
+
+    fn: Callable[[Any], Any]
+    plan: ChaosPlan
+
+    def _first_time(self, kind: str, label: str) -> bool:
+        """True exactly once per (kind, label), machine-wide: marker-file
+        claim with O_EXCL in the plan's shared state directory."""
+        digest = hashlib.sha256(label.encode()).hexdigest()[:24]
+        marker = Path(self.plan.state_dir) / f"{kind}-{digest}"
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def __call__(self, item: Any) -> Any:
+        label = str(item)
+        if label in self.plan.poison_labels:
+            raise InjectedWorkerCrash(f"injected poison fault on {label}")
+        if label in self.plan.kill_labels and self._first_time("kill", label):
+            os._exit(13)  # simulate kill -9 of the worker process
+        if label in self.plan.crash_labels and self._first_time(
+            "crash", label
+        ):
+            raise InjectedWorkerCrash(f"injected crash on first run of {label}")
+        if label in self.plan.hang_labels and self._first_time("hang", label):
+            time.sleep(self.plan.hang_s)
+        return self.fn(item)
+
+
+def truncate_file(path: str | Path, keep_fraction: float = 0.5) -> int:
+    """Chop a file mid-byte (simulating torn storage); returns bytes kept.
+
+    Used by ``repro chaos`` against checkpoints — the resume must then
+    fall back to the ``.bak`` generation — and by tests against traces.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    keep = int(size * keep_fraction)
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+    return keep

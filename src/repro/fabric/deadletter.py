@@ -1,0 +1,109 @@
+"""The dead-letter ledger: where poison work items go to be explained.
+
+When the supervisor gives up on a work item — every permitted retry
+crashed — the item is *quarantined*: its identity, label, attempt count
+and last error are appended to a JSON-lines ledger (default
+``.repro-runs/deadletter.jsonl``) before the sweep either aborts or skips
+past it.  The ledger is the forensic record: after a million-point sweep,
+``repro chaos``/operators read it to see exactly which items never
+produced a result and why.
+
+Design choices:
+
+* **Append-only JSONL** — one entry per line, flushed+fsynced per append,
+  so a crash mid-append loses at most the entry being written and never
+  damages earlier entries.
+* **Torn-tail tolerant reads** — a truncated final line (the one write a
+  crash can tear) is skipped on read instead of poisoning the whole
+  ledger; damage anywhere else raises, because it means something other
+  than a torn append happened to the file.
+* **No timestamps** — entries carry only deterministic identity fields,
+  so a chaos run's ledger is itself reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.resilience.errors import ReproError
+
+#: default ledger location, beside the run store's manifests.
+DEFAULT_DEADLETTER = ".repro-runs/deadletter.jsonl"
+
+FORMAT = "repro-deadletter"
+VERSION = 1
+
+
+class DeadLetterError(ReproError):
+    """The ledger file is damaged somewhere other than a torn tail."""
+
+
+class DeadLetterLedger:
+    """Append-only quarantine record for poison work items."""
+
+    def __init__(self, path: str | Path = DEFAULT_DEADLETTER) -> None:
+        self.path = Path(path)
+
+    def record(
+        self,
+        *,
+        index: int,
+        label: str,
+        attempts: int,
+        error: str,
+        sweep: str = "",
+    ) -> dict:
+        """Durably append one quarantined item; returns the entry."""
+        entry = {
+            "format": FORMAT,
+            "version": VERSION,
+            "sweep": sweep,
+            "index": index,
+            "label": label,
+            "attempts": attempts,
+            "error": error,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return entry
+
+    def entries(self) -> list[dict]:
+        """Every intact entry, oldest first (missing file = empty ledger).
+
+        A torn *final* line — the only damage an interrupted append can
+        cause — is silently dropped; torn or malformed content anywhere
+        else raises :class:`DeadLetterError`.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        lines = text.split("\n")
+        # a complete ledger ends with a newline, so the final split
+        # element is empty; anything else is the torn tail of an
+        # interrupted append
+        lines = lines[:-1] if lines else lines
+        entries = []
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DeadLetterError(
+                    f"{self.path}:{lineno}: damaged ledger entry: {exc}"
+                ) from exc
+            if not isinstance(entry, dict) or entry.get("format") != FORMAT:
+                raise DeadLetterError(
+                    f"{self.path}:{lineno}: not a {FORMAT} entry"
+                )
+            entries.append(entry)
+        return entries
+
+    def __len__(self) -> int:
+        return len(self.entries())

@@ -1,0 +1,215 @@
+"""The supervised Monte Carlo sweep: the fabric driving the Fig. 7 runner.
+
+:func:`run_fabric_monte_carlo` computes exactly the points of
+:func:`repro.analysis.montecarlo.run_monte_carlo` — same mixes from the
+same seed, same per-mix worker, same checkpoint ``kind`` and metadata, so
+the two runners' snapshots are interchangeable — but executes them
+through a fabric backend (:mod:`repro.fabric.backends`) under a
+:class:`~repro.fabric.supervisor.SupervisorPolicy`.
+
+The telemetry emission scheme is chosen so that the *canonical* stream is
+a pure function of (num_mixes, seed, config):
+
+* ``run_meta`` carries a detail without the restored-point count, so a
+  resumed run and a clean run describe themselves identically;
+* checkpoint-restored points are *re-emitted* as ``mc_point`` events in
+  their original slots — the trace always narrates the whole sweep;
+* ``progress`` heartbeats fire on absolute position (``done``/``total``
+  over the full sweep, not the remaining work), so the cadence survives
+  a resume;
+* every supervision action is an *advisory* ``supervisor`` event, dropped
+  by :func:`repro.telemetry.events.canonical_events`.
+
+Together these give the fabric's headline guarantee: kill a chaos sweep
+mid-flight, resume it, and ``repro diff`` against an uninterrupted serial
+run reports bit-identical canonical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.montecarlo import (
+    HEARTBEAT_FRACTION,
+    MonteCarloPoint,
+    MonteCarloResult,
+    _montecarlo_init,
+    _montecarlo_point,
+    _restore_points,
+    collect_profiles,
+)
+from repro.config import SystemConfig, scaled_config
+from repro.fabric.backends import (
+    DEFAULT_SHARD_SIZE,
+    LocalClusterBackend,
+    SupervisedBackend,
+    make_backend,
+)
+from repro.fabric.chaos import ChaosAbort, ChaosPlan
+from repro.fabric.deadletter import DeadLetterLedger
+from repro.fabric.supervisor import QUARANTINED, SupervisorPolicy
+from repro.parallel.profile_cache import ProfileCache
+from repro.profiling.miss_curve import MissCurve
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.errors import ConfigError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timing import wall_clock
+from repro.telemetry.tracer import Tracer
+from repro.workloads.mixes import random_mixes
+
+
+def _encode_point(point: MonteCarloPoint) -> dict:
+    """JSON-safe shard payload entry (module level: pickles to workers)."""
+    return point.to_dict()
+
+
+def _decode_point(data: dict) -> MonteCarloPoint:
+    return MonteCarloPoint.from_dict(data)
+
+
+@dataclass
+class FabricRun:
+    """One supervised sweep: the science plus the survival story."""
+
+    result: MonteCarloResult
+    backend: SupervisedBackend | LocalClusterBackend
+
+    def supervisor_summary(self) -> dict:
+        """Manifest-ready recovery digest (see ``RunStore.archive``)."""
+        return self.backend.summary()
+
+
+def run_fabric_monte_carlo(
+    num_mixes: int = 1000,
+    config: SystemConfig | None = None,
+    *,
+    curves: dict[str, MissCurve] | None = None,
+    seed: int = 2009,
+    profile_accesses: int = 60_000,
+    min_ways: int = 1,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool = False,
+    backend: str = "inproc",
+    jobs: int | None = None,
+    policy: SupervisorPolicy | None = None,
+    chaos: ChaosPlan | None = None,
+    profile_cache: ProfileCache | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    deadletter: DeadLetterLedger | None = None,
+    cluster_root: str | Path | None = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+) -> FabricRun:
+    """The paper's Monte Carlo comparison under fabric supervision.
+
+    Point-for-point equal to :func:`~repro.analysis.montecarlo.run_monte_carlo`
+    under the same ``(num_mixes, seed, config)`` — including its checkpoint
+    format, so sweeps may be started by one runner and resumed by the
+    other.  ``chaos`` injects the given fault plan into the worker function
+    (and, via ``abort_after``, simulates killing the driver mid-sweep).
+    """
+    policy = policy or SupervisorPolicy()
+    if checkpoint_path is not None and policy.on_poison != "raise":
+        raise ConfigError(
+            "a checkpointed sweep needs on_poison='raise': skipping an item "
+            "would break the snapshot's contiguous-prefix invariant"
+        )
+    if checkpoint_path is not None and backend == "local-cluster":
+        raise ConfigError(
+            "the local-cluster backend resumes from its own shard results; "
+            "run it against the same cluster root instead of a checkpoint"
+        )
+    cfg = config or scaled_config()
+    if curves is None:
+        curves = collect_profiles(
+            config=cfg, accesses=profile_accesses, cache=profile_cache
+        )
+    meta = {
+        "seed": seed,
+        "num_cores": cfg.num_cores,
+        "num_banks": cfg.l2.num_banks,
+        "bank_ways": cfg.l2.bank_ways,
+        "min_ways": min_ways,
+        "profile_accesses": profile_accesses,
+    }
+    ckpt = SweepCheckpoint(
+        checkpoint_path, "monte-carlo", meta,
+        every=checkpoint_every or cfg.resilience.checkpoint_every,
+        resume=resume,
+    )
+    result = MonteCarloResult(points=_restore_points(ckpt.completed, num_mixes))
+    mixes = random_mixes(num_mixes, cfg.num_cores, seed=seed)
+    if tracer is not None:
+        # resume-stable: no restored count, unlike the legacy runner
+        tracer.emit_run_meta(
+            "monte-carlo", detail=f"{num_mixes} mixes, seed {seed}"
+        )
+    exec_backend = make_backend(
+        backend,
+        jobs=jobs,
+        policy=policy,
+        initializer=_montecarlo_init,
+        initargs=(curves, cfg, min_ways),
+        tracer=tracer,
+        metrics=metrics,
+        deadletter=deadletter,
+        sweep=f"monte-carlo seed {seed}",
+        cluster_root=cluster_root,
+        shard_size=shard_size,
+        encode=_encode_point,
+        decode=_decode_point,
+    )
+    heartbeat = max(1, num_mixes // HEARTBEAT_FRACTION)
+    start = wall_clock() if tracer is not None else 0.0
+
+    def note(point: MonteCarloPoint, index: int) -> None:
+        if tracer is None:
+            return
+        tracer.emit(
+            "mc_point",
+            index=index,
+            mix=list(point.mix.names),
+            equal_misses=point.equal_misses,
+            unrestricted_misses=point.unrestricted_misses,
+            bank_aware_misses=point.bank_aware_misses,
+            ways=point.bank_aware_ways,
+        )
+        done = index + 1
+        if done % heartbeat == 0 or done == num_mixes:
+            tracer.emit(
+                "progress", done=done, total=num_mixes,
+                source="montecarlo", wall_s=wall_clock() - start,
+            )
+
+    # restored points re-enter the trace in their original slots, so the
+    # canonical stream of a resumed sweep equals an uninterrupted one
+    for index, point in enumerate(result.points):
+        note(point, index)
+
+    fn = chaos.wrap(_montecarlo_point) if chaos is not None else _montecarlo_point
+    abort_after = chaos.abort_after if chaos is not None else None
+    todo = mixes[len(result.points):]
+    labels = [str(m) for m in todo]
+    try:
+        if isinstance(exec_backend, LocalClusterBackend):
+            stream = exec_backend.map_ordered(
+                fn, todo, labels=labels, meta=meta
+            )
+        else:
+            stream = exec_backend.map_ordered(fn, todo, labels=labels)
+        for point in stream:
+            if point is QUARANTINED:
+                continue  # only reachable under on_poison='skip'
+            note(point, len(result.points))
+            result.points.append(point)
+            ckpt.record(point.to_dict())
+            if abort_after is not None and len(result.points) == abort_after:
+                # the simulated driver kill: leave only the checkpoint
+                raise ChaosAbort(
+                    f"injected driver abort after {abort_after} points"
+                )
+    finally:
+        ckpt.save()  # snapshot on kill/exception too, not just at the end
+    return FabricRun(result=result, backend=exec_backend)

@@ -21,6 +21,7 @@ this repository's layout:
     inv001-allow = ["repro/partitioning/", "repro/resilience/guard.py",
                     "repro/cache/partition_map.py"]
     api001-annotation-paths = ["src/"]
+    res002-paths = ["repro/"]
 
 Path scoping uses *posix fragment containment*: a file matches a fragment
 when the fragment occurs in its ``/``-joined path as given on the command
@@ -79,6 +80,8 @@ class LintConfig:
     )
     #: paths whose public functions must be fully annotated (API001).
     api001_annotation_paths: tuple[str, ...] = ("src/",)
+    #: paths where swallow-only broad except handlers are forbidden (RES002).
+    res002_paths: tuple[str, ...] = ("repro/",)
 
     def __post_init__(self) -> None:
         for rule_id, severity in self.severity.items():
@@ -134,6 +137,7 @@ def config_from_mapping(data: dict) -> LintConfig:
         ("det002-allow", "det002_allow"),
         ("inv001-allow", "inv001_allow"),
         ("api001-annotation-paths", "api001_annotation_paths"),
+        ("res002-paths", "res002_paths"),
     ):
         value = _str_tuple(rules, toml_key, "tool.repro-lint.rules")
         if value is not None:

@@ -20,6 +20,10 @@ architecture) depends on but Python cannot enforce by itself:
   and Rules 1–3 validation.
 * **API001 — API hygiene.**  Mutable default arguments, bare ``except:``
   and (inside the library tree) unannotated public functions.
+* **RES002 — no silently swallowed broad exceptions.**  An ``except``
+  over ``Exception``/``BaseException`` (or bare) whose body is only
+  ``pass``/``...`` hides worker crashes from the fault-tolerance layer;
+  failures must be wrapped, retried, quarantined, or at least logged.
 
 A rule is a pure function ``(tree, ctx) -> iterator of (line, col, msg)``;
 the engine attaches severities, applies suppressions and sorts.
@@ -359,4 +363,71 @@ def _api001(tree: ast.Module, ctx: FileContext) -> Iterator[RawFinding]:
             yield (
                 fn.lineno, fn.col_offset,
                 f"public function {fn.name}() has no return annotation",
+            )
+
+
+# -- RES002 ------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = ("Exception", "BaseException")
+
+
+def _is_broad_catch(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:``, ``except Exception``, ``except BaseException``, or
+    a tuple containing either — the catches wide enough to hide a worker
+    crash.  Narrow typed catches stay RES002-clean."""
+    node = handler.type
+    if node is None:
+        return True
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        name = (
+            candidate.id
+            if isinstance(candidate, ast.Name)
+            else candidate.attr if isinstance(candidate, ast.Attribute)
+            else None
+        )
+        if name in _BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
+def _swallows_silently(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all: only ``pass`` and/or
+    bare ``...`` statements.  A handler that assigns, logs, re-raises, or
+    returns a fallback has made a visible decision and is not flagged."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+@_register(
+    "RES002",
+    "broad exception swallowed silently",
+    "error",
+    "an 'except Exception: pass' (or bare except) hides worker crashes "
+    "from the supervision layer; wrap in a typed error, retry, quarantine "
+    "to the dead-letter ledger, or at minimum record the failure",
+)
+def _res002(tree: ast.Module, ctx: FileContext) -> Iterator[RawFinding]:
+    if not ctx.matches(ctx.config.res002_paths):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _is_broad_catch(node) and _swallows_silently(node):
+            line, col = _loc(node)
+            caught = "bare except" if node.type is None else "broad except"
+            yield (
+                line, col,
+                f"{caught} with a swallow-only body: handle the failure "
+                "(wrap/retry/quarantine/log) or catch the precise "
+                "exception instead",
             )

@@ -27,7 +27,7 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any
 
-from repro.resilience.errors import ConfigError
+from repro.resilience.errors import ConfigError, WorkerCrashError
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.timing import wall_clock
 from repro.telemetry.tracer import Tracer
@@ -193,9 +193,21 @@ class ParallelExecutor:
                     continue
                 wait(pending.values(), return_when=FIRST_COMPLETED)
                 for index in [i for i, f in pending.items() if f.done()]:
-                    # .result() re-raises worker exceptions here, in
-                    # submission context
-                    ready[index] = pending.pop(index).result()
+                    try:
+                        ready[index] = pending.pop(index).result()
+                    except Exception as exc:
+                        # A worker raised: surface *which* item failed as a
+                        # typed error (the raw exception stays attached as
+                        # __cause__).  BaseException — KeyboardInterrupt,
+                        # GeneratorExit — passes through unwrapped so
+                        # interrupts keep their meaning.
+                        label = labels[index] if labels else str(index)
+                        raise WorkerCrashError(
+                            f"work item #{index} ({label}) crashed: "
+                            f"{type(exc).__name__}: {exc}",
+                            index=index,
+                            label=label,
+                        ) from exc
         except BaseException:
             # A worker raised, the consumer abandoned the generator
             # (GeneratorExit lands here) or the user interrupted: drop

@@ -16,13 +16,16 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.errors import (
     CheckpointCorrupt,
+    CheckpointCorruptError,
     CheckpointMismatchError,
     ConfigError,
     PartitionInvariantError,
+    PoisonItemError,
     ProfilerFault,
     ReproError,
     SanitizerViolation,
     SimulationInvariantError,
+    WorkerCrashError,
 )
 from repro.resilience.faults import (
     ANY_CORE,
@@ -42,6 +45,7 @@ from repro.resilience.sanitizer import ReproSanitizer
 __all__ = [
     "ANY_CORE",
     "CheckpointCorrupt",
+    "CheckpointCorruptError",
     "CheckpointMismatchError",
     "ConfigError",
     "DecisionGuard",
@@ -53,12 +57,14 @@ __all__ = [
     "GuardEvent",
     "LADDER",
     "PartitionInvariantError",
+    "PoisonItemError",
     "ProfilerFault",
     "ReproError",
     "ReproSanitizer",
     "SanitizerViolation",
     "SimulationInvariantError",
     "SweepCheckpoint",
+    "WorkerCrashError",
     "load_checkpoint",
     "save_checkpoint",
 ]

@@ -16,7 +16,14 @@ here is the standard production one:
 * snapshots are **keyed by their parameters** — the sweep's defining
   metadata (seed, machine shape, ...) is stored alongside the results, and
   resuming with different parameters is refused, because it would splice
-  statistics from two different experiments.
+  statistics from two different experiments;
+* snapshots keep **one generation of history** — before a snapshot is
+  replaced, the previous (verified-at-write-time) one is preserved as a
+  ``.bak`` sibling, and :func:`load_checkpoint` falls back to it when the
+  primary fails integrity checks.  Atomic replacement already rules out
+  torn writes by *this* code; the backup covers everything it cannot —
+  filesystem corruption, truncation by other tools, hand edits — at the
+  cost of re-running at most one checkpoint interval.
 
 Resumability relies on the sweeps being *prefix-deterministic*: the i-th
 work item depends only on the seed (``random_mixes`` draws sequentially), so
@@ -30,10 +37,18 @@ import hashlib
 import json
 
 from repro.resilience.errors import CheckpointCorrupt, CheckpointMismatchError
-from repro.util.atomic_write import atomic_write_text
+from repro.util.atomic_write import atomic_write_bytes, atomic_write_text
 
 FORMAT = "repro-sweep-checkpoint"
 VERSION = 1
+
+#: suffix of the one-generation backup kept beside every snapshot.
+BACKUP_SUFFIX = ".bak"
+
+
+def backup_path(path: str) -> str:
+    """The ``.bak`` sibling holding the previous snapshot generation."""
+    return f"{path}{BACKUP_SUFFIX}"
 
 
 def _payload_digest(kind: str, meta: dict, completed: list) -> str:
@@ -46,7 +61,19 @@ def _payload_digest(kind: str, meta: dict, completed: list) -> str:
 
 def save_checkpoint(path: str, kind: str, meta: dict, completed: list) -> None:
     """Durably write one snapshot (temp + fsync file + replace + fsync dir,
-    via :func:`repro.util.atomic_write.atomic_write_text`)."""
+    via :func:`repro.util.atomic_write.atomic_write_text`).
+
+    The snapshot being replaced, if any, is first preserved verbatim as a
+    ``.bak`` sibling (also atomically), so there is always a previous
+    generation to fall back to when the primary is later found damaged.
+    """
+    try:
+        with open(path, "rb") as fh:
+            previous = fh.read()
+    except FileNotFoundError:
+        previous = None
+    if previous is not None:
+        atomic_write_bytes(backup_path(path), previous)
     payload = {
         "format": FORMAT,
         "version": VERSION,
@@ -61,10 +88,30 @@ def save_checkpoint(path: str, kind: str, meta: dict, completed: list) -> None:
 def load_checkpoint(path: str, kind: str) -> tuple[dict, list]:
     """Load and verify a snapshot; returns ``(meta, completed)``.
 
-    Raises :class:`CheckpointCorrupt` on any parse, schema, version, kind or
-    checksum failure.  A missing file raises :class:`FileNotFoundError` —
-    that is a normal "nothing to resume", not corruption.
+    A snapshot that fails parse, schema, version, kind or checksum
+    validation is not fatal on its own: the ``.bak`` sibling written by
+    :func:`save_checkpoint` (the previous generation, verified when it was
+    the primary) is tried next.  :class:`CheckpointCorrupt` is raised only
+    when the primary is damaged *and* no intact backup exists.  A missing
+    primary raises :class:`FileNotFoundError` — that is a normal "nothing
+    to resume", not corruption.
     """
+    try:
+        return _load_one(path, kind)
+    except CheckpointCorrupt as primary_error:
+        try:
+            meta, completed = _load_one(backup_path(path), kind)
+        except FileNotFoundError:
+            raise primary_error from None
+        except CheckpointCorrupt as backup_error:
+            raise CheckpointCorrupt(
+                f"{path}: snapshot and its backup are both unreadable "
+                f"(primary: {primary_error}; backup: {backup_error})"
+            ) from primary_error
+        return meta, completed
+
+
+def _load_one(path: str, kind: str) -> tuple[dict, list]:
     with open(path, encoding="utf-8") as fh:
         try:
             payload = json.load(fh)

@@ -14,13 +14,16 @@ from __future__ import annotations
 
 __all__ = [
     "CheckpointCorrupt",
+    "CheckpointCorruptError",
     "CheckpointMismatchError",
     "ConfigError",
     "PartitionInvariantError",
+    "PoisonItemError",
     "ProfilerFault",
     "ReproError",
     "SanitizerViolation",
     "SimulationInvariantError",
+    "WorkerCrashError",
 ]
 
 
@@ -54,6 +57,49 @@ class PartitionInvariantError(ReproError, ValueError):
     """
 
 
+class WorkerCrashError(ReproError):
+    """A sweep worker raised while evaluating one work item.
+
+    Wraps the worker's exception (available as ``__cause__``) with the
+    submission ``index`` and trace ``label`` of the item that failed, so a
+    thousand-item sweep aborts with *which* item died instead of a raw
+    traceback from an anonymous pool process.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: int | None = None,
+        label: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.label = label
+
+
+class PoisonItemError(ReproError):
+    """A work item kept failing after every permitted retry.
+
+    Raised by the fabric supervisor once an item has exhausted its retry
+    budget and been quarantined into the dead-letter ledger; ``attempts``
+    counts how many times it was tried.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: int | None = None,
+        label: str | None = None,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.label = label
+        self.attempts = attempts
+
+
 class CheckpointCorrupt(ReproError):
     """A sweep checkpoint file failed parsing or integrity validation."""
 
@@ -72,6 +118,12 @@ class CheckpointMismatchError(CheckpointCorrupt):
     def __init__(self, message: str, *, mismatched: tuple[str, ...] = ()) -> None:
         super().__init__(message)
         self.mismatched = mismatched
+
+
+#: modern alias — new code should catch :class:`CheckpointCorruptError`;
+#: the short name predates the ``*Error`` convention and stays for
+#: backwards compatibility.
+CheckpointCorruptError = CheckpointCorrupt
 
 
 class SimulationInvariantError(ReproError):

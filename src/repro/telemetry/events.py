@@ -131,7 +131,25 @@ EVENT_SCHEMAS: dict[str, dict[str, FieldSpec]] = {
         "source": _STR,  #: 'montecarlo' | 'sweep'
         "wall_s": _WALL,
     },
+    # one fabric supervision action (retry / timeout / quarantine / degrade
+    # / requeue).  Advisory: recovery actions describe *how* a run survived
+    # the host, not *what* it computed, so the whole event is dropped from
+    # the canonical projection (see :data:`ADVISORY_EVENTS`).
+    "supervisor": {
+        "kind": _STR,  #: 'retry' | 'timeout' | 'quarantine' | 'degrade' | 'requeue'
+        "index": _INT,
+        "attempt": _INT,
+        "label": _OPT_STR,
+        "rung": _OPT_STR,  #: degradation-ladder rung the action ran under
+        "detail": _OPT_STR,
+    },
 }
+
+#: event types that may legitimately differ between two otherwise
+#: identical runs (a retry happens only in the run whose worker crashed).
+#: :func:`canonical_events` removes them wholesale and renumbers ``seq``,
+#: so the determinism gate compares only the computed stream.
+ADVISORY_EVENTS = frozenset({"supervisor"})
 
 
 def validate_event(event: Mapping) -> list[str]:
@@ -176,19 +194,25 @@ def validate_events(events: Iterable[Mapping]) -> list[str]:
 
 
 def canonical_events(events: Iterable[Mapping]) -> list[dict]:
-    """The deterministic projection of a stream: every event stripped of
-    its ``deterministic=False`` fields, suitable for exact ``==``
-    comparison between serial and parallel runs."""
+    """The deterministic projection of a stream: advisory event types
+    (:data:`ADVISORY_EVENTS`) removed entirely, every surviving event
+    stripped of its ``deterministic=False`` fields, and ``seq`` renumbered
+    to the canonical position — suitable for exact ``==`` comparison
+    between serial, parallel, and crash-resumed runs.  For a stream with
+    no advisory events the projection keeps every original ``seq``."""
     out = []
     for event in events:
+        if event.get("type") in ADVISORY_EVENTS:
+            continue
         schema = EVENT_SCHEMAS.get(event.get("type"), {})
-        out.append(
-            {
-                k: v
-                for k, v in event.items()
-                if schema.get(k, COMMON_FIELDS.get(k, _STR)).deterministic
-            }
-        )
+        projected = {
+            k: v
+            for k, v in event.items()
+            if schema.get(k, COMMON_FIELDS.get(k, _STR)).deterministic
+        }
+        if "seq" in projected:
+            projected["seq"] = len(out)
+        out.append(projected)
     return out
 
 
@@ -228,6 +252,7 @@ def jsonify_fields(fields: Mapping[str, object]) -> dict:
 
 
 __all__: Sequence[str] = (
+    "ADVISORY_EVENTS",
     "COMMON_FIELDS",
     "EVENT_SCHEMAS",
     "FieldSpec",

@@ -169,6 +169,49 @@ class TestApi001:
         assert "API001" not in rules_of(findings)
 
 
+# ---------------------------------------------------------------- RES002
+
+
+class TestRes002:
+    def test_broad_except_pass_flagged(self):
+        src = "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        assert "RES002" in rules_of(lint(src))
+
+    def test_bare_except_ellipsis_flagged(self):
+        src = "try:\n    x = 1\nexcept:\n    ...\n"
+        assert "RES002" in rules_of(lint(src))
+
+    def test_base_exception_flagged(self):
+        src = "try:\n    x = 1\nexcept BaseException:\n    pass\n"
+        assert "RES002" in rules_of(lint(src))
+
+    def test_broad_member_of_tuple_flagged(self):
+        src = "try:\n    x = 1\nexcept (ValueError, Exception):\n    pass\n"
+        assert "RES002" in rules_of(lint(src))
+
+    def test_narrow_typed_pass_clean(self):
+        # the supervisor's kill-pool idiom: a precise catch may swallow
+        src = "try:\n    x = 1\nexcept (OSError, ValueError):\n    pass\n"
+        assert "RES002" not in rules_of(lint(src))
+
+    def test_broad_except_with_handling_body_clean(self):
+        src = "try:\n    x = 1\nexcept Exception:\n    x = None\n"
+        assert "RES002" not in rules_of(lint(src))
+
+    def test_scoped_by_res002_paths(self):
+        src = "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        findings = lint(src, path="benchmarks/bench_example.py")
+        assert "RES002" not in rules_of(findings)
+
+    def test_res002_paths_configurable(self):
+        cfg = config_from_mapping(
+            {"rules": {"res002-paths": ["benchmarks/"]}}
+        )
+        src = "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        findings = lint(src, path="benchmarks/bench_example.py", config=cfg)
+        assert "RES002" in rules_of(findings)
+
+
 # ---------------------------------------------------------- suppressions
 
 

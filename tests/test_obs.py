@@ -27,6 +27,7 @@ from repro.obs import (
     render_diff_text,
     watch_trace,
 )
+from repro.fabric import truncate_file
 from repro.telemetry import Tracer, read_jsonl, write_jsonl
 
 CFG = scaled_config(32, epoch_cycles=150_000)
@@ -241,6 +242,55 @@ class TestTailReader:
         path.write_bytes(b'{"type": broken}\n')
         with pytest.raises(ObsError, match="damaged trace line"):
             TailReader(path).poll()
+
+    def test_truncated_mid_event_resets_and_buffers_the_tear(self, tmp_path):
+        # a crash (or `repro chaos` tearing storage) can leave the trace
+        # cut mid-event: the reader must restart, replay the intact
+        # prefix, and hold the torn tail until the writer completes it
+        path = tmp_path / "torn.jsonl"
+        full = _line(self.EV)
+        path.write_bytes(full * 3)
+        reader = TailReader(path)
+        assert len(reader.poll().events) == 3
+        truncate_file(path, keep_fraction=0.5)  # tears event 2 mid-byte
+        chunk = reader.poll()
+        assert chunk.reset
+        assert reader.resets == 1
+        assert chunk.events == [self.EV]  # only the intact prefix
+        kept = path.stat().st_size
+        with open(path, "ab") as fh:  # the writer finishes the line
+            fh.write((full * 3)[kept:])
+        assert reader.poll().events == [self.EV, self.EV]
+
+    def test_heartbeats_interleaved_with_supervisor_retries(self, tmp_path):
+        # the stream a chaos run's pool backend writes: progress
+        # heartbeats with advisory supervisor events woven between them
+        path = tmp_path / "chaos.jsonl"
+        sup = {"type": "supervisor", "seq": 0, "kind": "retry", "index": 3,
+               "attempt": 1, "label": "mix-3", "rung": "pool",
+               "detail": "InjectedWorkerCrash: boom"}
+        beat = {"type": "progress", "seq": 0, "done": 1, "total": 4,
+                "source": "montecarlo", "wall_s": 0.5}
+        stream = [
+            dict(beat, seq=0),
+            dict(sup, seq=1),
+            dict(beat, seq=2, done=2, wall_s=1.0),
+            dict(sup, seq=3, kind="timeout", detail="no result"),
+            dict(sup, seq=4, kind="degrade", detail="deadline expired"),
+            dict(beat, seq=5, done=4, wall_s=2.0),
+        ]
+        reader, view = TailReader(path), WatchView()
+        path.write_bytes(b"".join(_line(e) for e in stream[:3]))
+        view.update(reader.poll())
+        assert view.counts == {"progress": 2, "supervisor": 1}
+        assert view.last_progress["done"] == 2
+        assert not view.complete
+        with open(path, "ab") as fh:
+            fh.write(b"".join(_line(e) for e in stream[3:]))
+        view.update(reader.poll())
+        assert view.counts == {"progress": 3, "supervisor": 3}
+        assert view.total_events == 6
+        assert view.complete  # the final heartbeat reached done == total
 
 
 class TestWatch:

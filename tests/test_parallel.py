@@ -29,6 +29,7 @@ from repro.resilience.errors import (
     CheckpointCorrupt,
     CheckpointMismatchError,
     ConfigError,
+    WorkerCrashError,
 )
 from repro.sim.runner import RunSettings, run_sweep
 from repro.workloads.mixes import TABLE_III_SETS, Mix, random_mixes
@@ -137,8 +138,13 @@ class TestPromptCancellation:
 
     def test_worker_exception_cancels_queued_items(self, tmp_path):
         worker = _MarkSleepWorker(tmp_path, poison=0)
-        with pytest.raises(RuntimeError, match="poison item"):
+        with pytest.raises(WorkerCrashError, match="poison item") as info:
             list(ParallelExecutor(2).map_ordered(worker, range(8)))
+        # the typed wrapper names the failing item and keeps the original
+        # exception chained for debugging
+        assert info.value.index == 0
+        assert info.value.label == "0"
+        assert isinstance(info.value.__cause__, RuntimeError)
         assert len(os.listdir(tmp_path)) < 7
 
     def test_abandoned_generator_cancels_queued_items(self, tmp_path):

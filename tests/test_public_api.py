@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.coherence",
     "repro.config",
     "repro.cpu",
+    "repro.fabric",
     "repro.lint",
     "repro.mem",
     "repro.noc",

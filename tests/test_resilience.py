@@ -13,6 +13,7 @@ from repro.partitioning.bank_aware import bank_aware_partition
 from repro.profiling.msa import MSAProfiler
 from repro.resilience import (
     CheckpointCorrupt,
+    CheckpointCorruptError,
     ConfigError,
     DecisionGuard,
     DegradedMode,
@@ -25,6 +26,7 @@ from repro.resilience import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.resilience.checkpoint import backup_path
 from repro.sim.controller import EpochController
 from repro.sim.runner import RunSettings, run_mix, run_sweep
 from repro.util.rng import rng_stream
@@ -514,6 +516,44 @@ class TestCheckpointFile:
         assert not os.path.exists(path)
         ckpt.record({"i": 1})
         assert load_checkpoint(path, "k")[1] == [{"i": 0}, {"i": 1}]
+
+    def test_save_preserves_previous_generation_as_bak(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        save_checkpoint(path, "k", {}, [{"i": 0}])
+        assert not os.path.exists(backup_path(path))  # nothing to preserve
+        save_checkpoint(path, "k", {}, [{"i": 0}, {"i": 1}])
+        assert load_checkpoint(backup_path(path), "k")[1] == [{"i": 0}]
+
+    def test_damaged_primary_falls_back_to_bak(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        save_checkpoint(path, "k", {"seed": 7}, [{"i": 0}])
+        save_checkpoint(path, "k", {"seed": 7}, [{"i": 0}, {"i": 1}])
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) // 2)  # torn by other tools
+        meta, completed = load_checkpoint(path, "k")
+        assert meta == {"seed": 7}
+        assert completed == [{"i": 0}]  # the previous generation
+
+    def test_both_generations_damaged_raises(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        save_checkpoint(path, "k", {}, [{"i": 0}])
+        save_checkpoint(path, "k", {}, [{"i": 0}, {"i": 1}])
+        for victim in (path, backup_path(path)):
+            with open(victim, "r+b") as fh:
+                fh.truncate(10)
+        with pytest.raises(CheckpointCorrupt, match="both unreadable"):
+            load_checkpoint(path, "k")
+
+    def test_damaged_primary_without_bak_raises_original(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        save_checkpoint(path, "k", {}, [])  # single save: no .bak yet
+        with open(path, "r+b") as fh:
+            fh.truncate(10)
+        with pytest.raises(CheckpointCorrupt, match="JSON"):
+            load_checkpoint(path, "k")
+
+    def test_corrupt_error_alias_is_the_same_class(self):
+        assert CheckpointCorruptError is CheckpointCorrupt
 
 
 class TestMonteCarloResume:

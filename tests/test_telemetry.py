@@ -17,6 +17,7 @@ from repro.sim.runner import RunSettings, compare_schemes, run_mix
 from repro.sim.stats import SystemResult
 from repro.telemetry import metrics
 from repro.telemetry.metrics import Histogram
+from repro.telemetry.events import ADVISORY_EVENTS
 from repro.telemetry import (
     EVENT_SCHEMAS,
     SCHEMA_VERSION,
@@ -198,6 +199,29 @@ class TestEventSchema:
     def test_every_schema_is_documented(self):
         documented = {etype for etype, _, _ in schema_rows()}
         assert documented == set(EVENT_SCHEMAS)
+
+    def test_advisory_supervisor_events_dropped_and_seq_renumbered(self):
+        # a retry happens only in the run whose worker crashed, so the
+        # canonical projection must erase it without leaving a seq gap
+        events = [
+            {"type": "sweep_item", "seq": 0, "index": 0, "label": "a"},
+            {"type": "supervisor", "seq": 1, "kind": "retry", "index": 1,
+             "attempt": 1, "rung": "pool", "detail": "boom"},
+            {"type": "sweep_item", "seq": 2, "index": 1, "label": "b"},
+        ]
+        canon = canonical_events(events)
+        assert [e["type"] for e in canon] == ["sweep_item", "sweep_item"]
+        assert [e["seq"] for e in canon] == [0, 1]
+        clean = [events[0], dict(events[2], seq=1)]
+        assert canon == canonical_events(clean)  # chaos == clean
+
+    def test_supervisor_event_validates(self):
+        assert ADVISORY_EVENTS == {"supervisor"}
+        assert validate_event(
+            {"type": "supervisor", "seq": 4, "kind": "quarantine",
+             "index": 7, "attempt": 3, "label": "mix-7", "rung": "serial",
+             "detail": "ValueError: poison"}
+        ) == []
 
     def test_validate_event_accepts_common_fields(self):
         assert validate_event(
