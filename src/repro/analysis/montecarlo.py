@@ -32,7 +32,7 @@ from repro.partitioning.unrestricted import predicted_misses, unrestricted_parti
 from repro.profiling.miss_curve import MissCurve
 from repro.profiling.msa import MSAProfiler
 from repro.resilience.checkpoint import SweepCheckpoint
-from repro.resilience.errors import CheckpointCorrupt
+from repro.errors import CheckpointCorrupt
 from repro.telemetry.timing import wall_clock
 from repro.telemetry.tracer import Tracer
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
+from repro.errors import ConfigError
+
 
 def format_table(
     headers: Sequence[str],
@@ -31,7 +33,7 @@ def format_table(
     widths = [len(h) for h in headers]
     for row in rendered:
         if len(row) != len(headers):
-            raise ValueError("row width disagrees with headers")
+            raise ConfigError("row width disagrees with headers")
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     lines = []
@@ -83,5 +85,5 @@ def write_csv(
         writer.writerow(list(headers))
         for row in rows:
             if len(row) != len(headers):
-                raise ValueError("row width disagrees with headers")
+                raise ConfigError("row width disagrees with headers")
             writer.writerow(list(row))

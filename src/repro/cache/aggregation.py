@@ -28,7 +28,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro.cache.cacheset import CacheSet
-from repro.resilience.errors import SimulationInvariantError
+from repro.errors import SimulationInvariantError
 
 
 @dataclass

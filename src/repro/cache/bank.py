@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 from repro.cache.cacheset import CacheSet, Eviction
 
+from repro.errors import ConfigError
+
 
 @dataclass
 class BankStats:
@@ -45,13 +47,13 @@ class CacheBank:
         policy: str = "lru",
     ) -> None:
         if num_sets < 1:
-            raise ValueError("bank needs at least one set")
+            raise ConfigError("bank needs at least one set")
         self.bank_id = bank_id
         self.num_sets = num_sets
         self.ways = ways
         self._set_mask = num_sets - 1
         if num_sets & self._set_mask:
-            raise ValueError("bank set count must be a power of two")
+            raise ConfigError("bank set count must be a power of two")
         self.sets = [CacheSet(ways, policy) for _ in range(num_sets)]
         #: cores allowed to allocate into each way; None = any core.
         self._way_owners: list[frozenset[int] | None] = [None] * ways
@@ -70,7 +72,7 @@ class CacheBank:
         """Install a vertical partition: ``owners[w]`` is the set of cores
         that may allocate into way ``w`` (``None`` = unrestricted)."""
         if len(owners) != self.ways:
-            raise ValueError(f"need exactly {self.ways} owner entries")
+            raise ConfigError(f"need exactly {self.ways} owner entries")
         self._way_owners = list(owners)
         self._candidates.clear()
 
@@ -80,11 +82,11 @@ class CacheBank:
         The counts must sum to the bank's associativity."""
         total = sum(assignment.values())
         if total != self.ways:
-            raise ValueError(
+            raise ConfigError(
                 f"way counts sum to {total}, bank has {self.ways} ways"
             )
         if any(n < 0 for n in assignment.values()):
-            raise ValueError("way counts must be non-negative")
+            raise ConfigError("way counts must be non-negative")
         owners: list[frozenset[int] | None] = []
         for core in sorted(assignment):
             owners.extend([frozenset((core,))] * assignment[core])

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import NamedTuple
 
 from repro.cache.replacement import make_policy
-from repro.resilience.errors import SimulationInvariantError
+from repro.errors import ConfigError, SimulationInvariantError
 
 
 class Eviction(NamedTuple):
@@ -45,7 +45,7 @@ class CacheSet:
 
     def __init__(self, ways: int, policy: str = "lru") -> None:
         if ways < 1:
-            raise ValueError("a set needs at least one way")
+            raise ConfigError("a set needs at least one way")
         self.ways = ways
         self._tags: list[int | None] = [None] * ways
         self._dirty = [False] * ways
@@ -115,9 +115,9 @@ class CacheSet:
         eviction (if any).
         """
         if tag in self._map:
-            raise ValueError(f"tag {tag} already resident; use lookup()")
+            raise ConfigError(f"tag {tag} already resident; use lookup()")
         if not candidates:
-            raise ValueError("insert() needs at least one candidate way")
+            raise ConfigError("insert() needs at least one candidate way")
         tags = self._tags
         way = None
         best_stamp = None

@@ -42,6 +42,8 @@ from repro.telemetry.metrics import MetricsRegistry
 from repro.util.bits import ilog2
 from repro.util.floorplan import distance_ordered_banks
 
+from repro.errors import ConfigError
+
 
 class AccessResult(NamedTuple):
     """Outcome of one L2 reference."""
@@ -99,7 +101,7 @@ class NucaL2:
         self.config = config or L2Config()
         self.config.validate()
         if placement not in ("parallel", "hash", "dnuca"):
-            raise ValueError("placement must be 'parallel', 'hash' or 'dnuca'")
+            raise ConfigError("placement must be 'parallel', 'hash' or 'dnuca'")
         self.num_cores = num_cores
         self.placement = placement
         self.promote_on_hit = promote_on_hit

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.bank import CacheBank
-from repro.resilience.errors import PartitionInvariantError
+from repro.errors import PartitionInvariantError
 
 
 @dataclass(frozen=True)
@@ -33,11 +33,11 @@ class BankAllocation:
 
     def __post_init__(self) -> None:
         if not self.ways:
-            raise ValueError("a bank allocation needs at least one way")
+            raise PartitionInvariantError("a bank allocation needs at least one way")
         if len(set(self.ways)) != len(self.ways):
-            raise ValueError("duplicate way indices in allocation")
+            raise PartitionInvariantError("duplicate way indices in allocation")
         if any(w < 0 for w in self.ways):
-            raise ValueError("way indices must be non-negative")
+            raise PartitionInvariantError("way indices must be non-negative")
         object.__setattr__(self, "ways", tuple(sorted(self.ways)))
 
     @property
@@ -55,12 +55,12 @@ class CorePartition:
 
     def __post_init__(self) -> None:
         if not self.level1:
-            raise ValueError("a partition needs at least one level-1 bank")
+            raise PartitionInvariantError("a partition needs at least one level-1 bank")
         banks = [a.bank for a in self.level1]
         if self.level2 is not None:
             banks.append(self.level2.bank)
         if len(set(banks)) != len(banks):
-            raise ValueError("a bank may appear only once in a partition")
+            raise PartitionInvariantError("a bank may appear only once in a partition")
 
     @property
     def total_ways(self) -> int:
@@ -91,7 +91,7 @@ class PartitionMap:
 
     def add(self, partition: CorePartition) -> None:
         if partition.core in self.partitions:
-            raise ValueError(f"core {partition.core} already has a partition")
+            raise PartitionInvariantError(f"core {partition.core} already has a partition")
         self.partitions[partition.core] = partition
 
     def __getitem__(self, core: int) -> CorePartition:
@@ -156,7 +156,7 @@ def equal_partition_map(
     Center banks as whole banks (8 cores x 2 banks = 16 ways each on the
     baseline machine)."""
     if num_banks % num_cores:
-        raise ValueError("banks must divide evenly among cores")
+        raise PartitionInvariantError("banks must divide evenly among cores")
     per_core = num_banks // num_cores
     pmap = PartitionMap()
     all_ways = tuple(range(bank_ways))

@@ -22,7 +22,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 
-LINE_SIZE = 64  #: cache line size in bytes used throughout the paper.
+from repro.errors import ConfigError
+from repro.util.bits import LINE_SIZE
 
 
 def _is_pow2(x: int) -> bool:
@@ -44,9 +45,9 @@ class L1Config:
 
     def validate(self) -> None:
         if self.size_bytes % (self.ways * self.line_size):
-            raise ValueError("L1 size must be a multiple of ways * line size")
+            raise ConfigError("L1 size must be a multiple of ways * line size")
         if not _is_pow2(self.num_sets):
-            raise ValueError("L1 set count must be a power of two")
+            raise ConfigError("L1 set count must be a power of two")
 
 
 @dataclass(frozen=True)
@@ -79,11 +80,11 @@ class L2Config:
 
     def validate(self) -> None:
         if not _is_pow2(self.sets_per_bank):
-            raise ValueError("sets per bank must be a power of two")
+            raise ConfigError("sets per bank must be a power of two")
         if self.num_banks % 2:
-            raise ValueError("banks must split evenly into Local/Center halves")
+            raise ConfigError("banks must split evenly into Local/Center halves")
         if self.min_latency >= self.max_latency:
-            raise ValueError("min latency must be below max latency")
+            raise ConfigError("min latency must be below max latency")
 
 
 @dataclass(frozen=True)
@@ -105,9 +106,9 @@ class CoreConfig:
 
     def validate(self) -> None:
         if self.base_cpi <= 0:
-            raise ValueError("base CPI must be positive")
+            raise ConfigError("base CPI must be positive")
         if self.max_outstanding < 1:
-            raise ValueError("need at least one outstanding request")
+            raise ConfigError("need at least one outstanding request")
 
 
 @dataclass(frozen=True)
@@ -120,7 +121,7 @@ class MemoryConfig:
 
     def validate(self) -> None:
         if self.latency_cycles <= 0:
-            raise ValueError("memory latency must be positive")
+            raise ConfigError("memory latency must be positive")
 
 
 @dataclass(frozen=True)
@@ -140,9 +141,9 @@ class ProfilerConfig:
 
     def validate(self) -> None:
         if not 0 < self.max_capacity_num <= self.max_capacity_den:
-            raise ValueError("capacity cap must be a fraction in (0, 1]")
+            raise ConfigError("capacity cap must be a fraction in (0, 1]")
         if self.set_sampling < 1:
-            raise ValueError("set sampling ratio must be >= 1")
+            raise ConfigError("set sampling ratio must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -173,13 +174,13 @@ class ResilienceConfig:
 
     def validate(self) -> None:
         if self.hysteresis_epochs < 1:
-            raise ValueError("hysteresis must be at least one epoch")
+            raise ConfigError("hysteresis must be at least one epoch")
         if self.degrade_after < 1:
-            raise ValueError("degrade_after must be at least one failure")
+            raise ConfigError("degrade_after must be at least one failure")
         if self.min_ways < 1:
-            raise ValueError("every core must keep at least one way")
+            raise ConfigError("every core must keep at least one way")
         if self.checkpoint_every < 1:
-            raise ValueError("checkpoint interval must be at least one item")
+            raise ConfigError("checkpoint interval must be at least one item")
 
 
 @dataclass(frozen=True)
@@ -198,9 +199,9 @@ class SystemConfig:
 
     def validate(self) -> "SystemConfig":
         if self.num_cores < 1:
-            raise ValueError("need at least one core")
+            raise ConfigError("need at least one core")
         if self.l2.num_banks < self.num_cores:
-            raise ValueError("need at least one Local bank per core")
+            raise ConfigError("need at least one Local bank per core")
         self.l1.validate()
         self.l2.validate()
         self.core.validate()
@@ -229,7 +230,7 @@ def scaled_config(scale: int = 8, epoch_cycles: int = 1_500_000) -> SystemConfig
     (see :func:`repro.workloads.spec_like.suite`).
     """
     if scale < 1 or 2048 % scale:
-        raise ValueError("scale must divide 2048")
+        raise ConfigError("scale must divide 2048")
     base = SystemConfig()
     # Set sampling scales with the set count so the profiler keeps the same
     # number of monitored sets (64) and hence the same statistical power.

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 from repro.config import CoreConfig
 
+from repro.errors import ConfigError
+
 
 @dataclass
 class CoreSnapshot:
@@ -47,7 +49,7 @@ class CoreTimer:
         self.config = config or CoreConfig()
         self.config.validate()
         if nonmem_cpi <= 0:
-            raise ValueError("non-memory CPI must be positive")
+            raise ConfigError("non-memory CPI must be positive")
         self.nonmem_cpi = nonmem_cpi
         #: overlap factor: effective MLP cannot exceed the MSHR budget.
         self.mlp = min(max(mlp, 1.0), float(self.config.max_outstanding))
@@ -67,7 +69,7 @@ class CoreTimer:
         """Account a finished L2/memory access of ``latency`` cycles,
         overlapped across the workload's MLP."""
         if latency < 0:
-            raise ValueError("latency must be non-negative")
+            raise ConfigError("latency must be non-negative")
         effective = latency / self.mlp
         self.time += effective
         self.mem_stall += effective

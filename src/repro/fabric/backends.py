@@ -45,7 +45,7 @@ from repro.fabric.supervisor import (
     SupervisorPolicy,
     emit_supervisor_event,
 )
-from repro.resilience.errors import ConfigError, PoisonItemError
+from repro.errors import ConfigError, PoisonItemError
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer
 

@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.resilience.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError
 from repro.util.rng import rng_stream
 
 

@@ -27,7 +27,7 @@ import json
 import os
 from pathlib import Path
 
-from repro.resilience.errors import ReproError
+from repro.errors import ReproError
 
 #: default ledger location, beside the run store's manifests.
 DEFAULT_DEADLETTER = ".repro-runs/deadletter.jsonl"

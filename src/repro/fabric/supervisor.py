@@ -48,7 +48,7 @@ from typing import Any
 
 from repro.fabric.deadletter import DeadLetterLedger
 from repro.parallel.executor import WINDOW_PER_JOB, resolve_jobs
-from repro.resilience.errors import ConfigError, PoisonItemError
+from repro.errors import ConfigError, PoisonItemError
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.timing import wall_clock
 from repro.telemetry.tracer import Tracer

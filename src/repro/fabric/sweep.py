@@ -52,7 +52,7 @@ from repro.fabric.supervisor import QUARANTINED, SupervisorPolicy
 from repro.parallel.profile_cache import ProfileCache
 from repro.profiling.miss_curve import MissCurve
 from repro.resilience.checkpoint import SweepCheckpoint
-from repro.resilience.errors import ConfigError
+from repro.errors import ConfigError
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.timing import wall_clock
 from repro.telemetry.tracer import Tracer

@@ -31,8 +31,14 @@ from repro.lint.engine import (
 from repro.lint.findings import JSON_SCHEMA_VERSION, Finding, LintResult
 from repro.lint.report import render_json, render_rules, render_text
 from repro.lint.rules import RULES, FileContext, Rule
+from repro.lint.sarif import render_sarif, to_sarif
+from repro.lint.xmod import XMOD_RULES, analyze_paths
 
 __all__ = [
+    "XMOD_RULES",
+    "analyze_paths",
+    "render_sarif",
+    "to_sarif",
     "Finding",
     "FileContext",
     "JSON_SCHEMA_VERSION",

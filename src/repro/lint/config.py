@@ -44,13 +44,20 @@ except ImportError:  # pragma: no cover - 3.10 fallback, defaults only
     tomllib = None  # type: ignore[assignment]
 
 from repro.lint.findings import SEVERITIES
+from repro.errors import ReproError
 
 #: directories never worth descending into.
 DEFAULT_EXCLUDE = ("__pycache__", ".git", "_bootstrap", "build", "dist")
 
 
-class LintConfigError(ValueError):
-    """``[tool.repro-lint]`` contains an out-of-domain value."""
+class LintConfigError(ReproError, ValueError):
+    """``[tool.repro-lint]`` contains an out-of-domain value.
+
+    Inherits :class:`~repro.resilience.errors.ReproError` so the CLI
+    boundary turns a bad config into a clean exit-2 instead of a traceback
+    (the same contract ERR001 enforces on everything else), and
+    ``ValueError`` so pre-taxonomy callers keep working.
+    """
 
 
 @dataclass(frozen=True)
@@ -82,6 +89,20 @@ class LintConfig:
     api001_annotation_paths: tuple[str, ...] = ("src/",)
     #: paths where swallow-only broad except handlers are forbidden (RES002).
     res002_paths: tuple[str, ...] = ("repro/",)
+    #: files allowed to construct raw numpy generators (DET003, xmod).
+    det003_allow: tuple[str, ...] = ("repro/util/rng.py",)
+    #: ``module:prefix`` specs naming the CLI roots ERR001 traces from.
+    err001_entrypoints: tuple[str, ...] = ("repro.cli:cmd_",)
+    #: the taxonomy base every CLI-reachable raise must derive from.
+    err001_base: str = "repro.errors.ReproError"
+    #: attribute-call names treated as worker submissions (PAR001/PAR002).
+    xmod_submit_methods: tuple[str, ...] = (
+        "map_ordered",
+        "map_supervised",
+        "submit",
+    )
+    #: module whose EVENT_SCHEMAS/COMMON_FIELDS TEL001 checks against.
+    tel001_events_module: str = "repro.telemetry.events"
 
     def __post_init__(self) -> None:
         for rule_id, severity in self.severity.items():
@@ -138,9 +159,23 @@ def config_from_mapping(data: dict) -> LintConfig:
         ("inv001-allow", "inv001_allow"),
         ("api001-annotation-paths", "api001_annotation_paths"),
         ("res002-paths", "res002_paths"),
+        ("det003-allow", "det003_allow"),
+        ("err001-entrypoints", "err001_entrypoints"),
+        ("xmod-submit-methods", "xmod_submit_methods"),
     ):
         value = _str_tuple(rules, toml_key, "tool.repro-lint.rules")
         if value is not None:
+            updates[attr] = value
+    for toml_key, attr in (
+        ("err001-base", "err001_base"),
+        ("tel001-events-module", "tel001_events_module"),
+    ):
+        if toml_key in rules:
+            value = rules[toml_key]
+            if not isinstance(value, str):
+                raise LintConfigError(
+                    f"tool.repro-lint.rules.{toml_key} must be a string"
+                )
             updates[attr] = value
     unknown = set(data) - {"exclude", "select", "ignore", "severity", "rules"}
     if unknown:

@@ -99,6 +99,29 @@ def lint_source(source: str, path: str, config: LintConfig) -> list[Finding]:
     return sorted(findings)
 
 
+def _excluded(path: Path, exclude: tuple[str, ...]) -> bool:
+    """Does any exclusion fragment match a *path-segment run* of ``path``?
+
+    Fragments are matched against whole ``/``-separated segments, never raw
+    substrings: ``obs`` excludes ``repro/obs/watch.py`` but not ``jobs.py``,
+    and a multi-segment fragment like ``repro/obs`` must appear as a
+    contiguous segment run.  (Raw containment used to exclude unintended
+    files whose names merely *contained* a fragment.)
+    """
+    parts = path.as_posix().split("/")
+    for fragment in exclude:
+        want = [seg for seg in fragment.split("/") if seg]
+        if not want:
+            continue
+        span = len(want)
+        if any(
+            parts[i : i + span] == want
+            for i in range(len(parts) - span + 1)
+        ):
+            return True
+    return False
+
+
 def iter_python_files(
     paths: list[str], config: LintConfig
 ) -> list[Path]:
@@ -114,8 +137,7 @@ def iter_python_files(
         else:
             raise FileNotFoundError(f"no such file or directory: {raw}")
         for path in candidates:
-            posix = path.as_posix()
-            if any(fragment in posix for fragment in config.exclude):
+            if _excluded(path, config.exclude):
                 continue
             if path not in seen:
                 seen.add(path)

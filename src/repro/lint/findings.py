@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
+from repro.errors import ConfigError
+
 SEVERITIES = ("error", "advice")
 
 #: schema version stamped into the JSON report (bump on breaking changes).
@@ -36,7 +38,7 @@ class Finding:
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
-            raise ValueError(
+            raise ConfigError(
                 f"severity must be one of {SEVERITIES}, got {self.severity!r}"
             )
 

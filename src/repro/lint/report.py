@@ -19,6 +19,7 @@ import json
 
 from repro.lint.findings import JSON_SCHEMA_VERSION, LintResult
 from repro.lint.rules import RULES
+from repro.lint.xmod.rules import XMOD_RULES
 
 
 def render_text(result: LintResult) -> str:
@@ -47,9 +48,14 @@ def render_json(result: LintResult) -> str:
 
 
 def render_rules() -> str:
-    """The ``--list-rules`` catalogue."""
+    """The ``--list-rules`` catalogue (per-file, then cross-module)."""
     lines = []
     for rule in RULES.values():
         lines.append(f"{rule.id} [{rule.default_severity}] {rule.title}")
+        lines.append(f"    {rule.rationale}")
+    for rule in XMOD_RULES.values():
+        lines.append(
+            f"{rule.id} [{rule.default_severity}] [xmod] {rule.title}"
+        )
         lines.append(f"    {rule.rationale}")
     return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Baseline ratcheting: adopt the analyzer today, pay down debt over time.
+
+A *baseline* is a committed JSON file enumerating the findings the team has
+looked at and consciously deferred, each with a human-written ``reason``.
+On every run:
+
+* a finding **matched** by a baseline entry is demoted to ``advice`` (it is
+  reported, prefixed ``[baselined]``, but never fails the build);
+* a finding **not** in the baseline keeps its severity — new debt fails CI
+  the moment it is introduced;
+* a baseline entry matching nothing is reported as stale advice, so the
+  file shrinks as debt is fixed (the ratchet only turns one way).
+
+Entries match on ``(rule, path, message)`` — deliberately *not* on line
+numbers, which shift with every unrelated edit.  If a message changes the
+finding is new again, which is the conservative direction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.errors import ConfigError
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: filename auto-discovered next to pyproject.toml when --baseline is absent.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One consciously deferred finding, with its justification."""
+
+    rule: str
+    path: str
+    message: str
+    reason: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+
+@dataclass(frozen=True)
+class BaselineOutcome:
+    """Result of applying a baseline to a run's findings."""
+
+    #: findings not covered by the baseline — these keep their severity.
+    new: tuple[Finding, ...]
+    #: baseline-covered findings, demoted to advice.
+    baselined: tuple[Finding, ...]
+    #: entries that matched nothing this run (stale — remove them).
+    stale: tuple[BaselineEntry, ...]
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Parse a baseline file; every entry must carry a non-empty reason."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ConfigError(f"baseline {path} must be an object with 'entries'")
+    entries: list[BaselineEntry] = []
+    for i, raw in enumerate(data["entries"]):
+        if not isinstance(raw, dict):
+            raise ConfigError(f"baseline {path}: entry {i} is not an object")
+        try:
+            entry = BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                message=str(raw["message"]),
+                reason=str(raw["reason"]),
+            )
+        except KeyError as exc:
+            raise ConfigError(
+                f"baseline {path}: entry {i} is missing key {exc.args[0]!r}"
+            ) from exc
+        if not entry.reason.strip():
+            raise ConfigError(
+                f"baseline {path}: entry {i} ({entry.rule} at {entry.path}) "
+                "has an empty 'reason' — every deferred finding needs a "
+                "written justification"
+            )
+        entries.append(entry)
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> BaselineOutcome:
+    """Split findings into new vs baselined and spot stale entries."""
+    by_key = {entry.key: entry for entry in entries}
+    matched: set[tuple[str, str, str]] = set()
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.message)
+        entry = by_key.get(key)
+        if entry is None:
+            new.append(finding)
+            continue
+        matched.add(key)
+        baselined.append(
+            Finding(
+                path=finding.path,
+                line=finding.line,
+                column=finding.column,
+                rule=finding.rule,
+                severity="advice",
+                message=f"[baselined: {entry.reason}] {finding.message}",
+            )
+        )
+    stale = tuple(
+        entry for entry in entries if entry.key not in matched
+    )
+    return BaselineOutcome(
+        new=tuple(new), baselined=tuple(baselined), stale=stale
+    )
+
+
+def write_baseline(
+    findings: list[Finding],
+    path: Path,
+    previous: list[BaselineEntry] | None = None,
+) -> int:
+    """Write a baseline covering ``findings``; reasons carry over from
+    ``previous`` where the key matches, otherwise a fill-me-in marker is
+    emitted (CI loading rejects empty reasons, not markers — review them).
+    Returns the number of entries written."""
+    carried = {entry.key: entry.reason for entry in (previous or [])}
+    entries = []
+    seen: set[tuple[str, str, str]] = set()
+    for finding in sorted(findings):
+        key = (finding.rule, finding.path, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "reason": carried.get(
+                    key, "TODO: justify or fix before merging"
+                ),
+            }
+        )
+    payload = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "entries": entries,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def find_baseline(start: Path | None = None) -> Path | None:
+    """Nearest committed ``lint-baseline.json`` at or above ``start``."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        baseline = candidate / DEFAULT_BASELINE_NAME
+        if baseline.is_file():
+            return baseline
+    return None
+
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "BaselineEntry",
+    "BaselineOutcome",
+    "DEFAULT_BASELINE_NAME",
+    "apply_baseline",
+    "find_baseline",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,108 @@
+"""On-disk findings cache: incremental ``--xmod`` runs are near-instant.
+
+Because every rule is *cross*-module, per-file caching would be unsound: a
+change to ``telemetry/events.py`` can create findings in files that did not
+change.  The cache therefore keys one entry on the **whole analyzed input**:
+
+    key = sha256( analyzer version
+                  ‖ config fingerprint
+                  ‖ sorted (path, content-sha256) pairs )
+
+Any file edit, any config edit, or any analyzer upgrade changes the key and
+the entry is recomputed from scratch.  Unchanged trees replay the stored
+findings without parsing a single file — which is what makes the
+run-twice-in-CI pattern cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, LintResult
+
+CACHE_SCHEMA_VERSION = 1
+
+#: default cache location, relative to the working directory.
+DEFAULT_CACHE_PATH = Path(".repro-cache") / "lint-xmod.json"
+
+
+def config_fingerprint(config: LintConfig) -> str:
+    """Stable digest of every config field that affects xmod findings."""
+    payload = asdict(config)
+    blob = json.dumps(payload, sort_keys=True, default=list)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def tree_key(
+    files: list[Path], config: LintConfig, analyzer_version: int
+) -> str:
+    """The cache key for this exact (analyzer, config, file-contents) input."""
+    digest = hashlib.sha256()
+    digest.update(f"xmod-v{analyzer_version}\n".encode("utf-8"))
+    digest.update(config_fingerprint(config).encode("utf-8"))
+    for path in sorted(files, key=lambda p: p.as_posix()):
+        content_hash = hashlib.sha256(path.read_bytes()).hexdigest()
+        digest.update(f"\n{path.as_posix()}\0{content_hash}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def load_cached(cache_path: Path, key: str) -> LintResult | None:
+    """The stored result for ``key``, or ``None`` on miss/corruption.
+
+    A corrupt or wrong-schema cache file is treated as a miss — the cache
+    must never be able to fail a run that would otherwise succeed.
+    """
+    try:
+        data = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(data, dict)
+        or data.get("schema") != CACHE_SCHEMA_VERSION
+        or data.get("key") != key
+    ):
+        return None
+    try:
+        findings = tuple(
+            Finding(
+                path=str(raw["path"]),
+                line=int(raw["line"]),
+                column=int(raw["column"]),
+                rule=str(raw["rule"]),
+                severity=str(raw["severity"]),
+                message=str(raw["message"]),
+            )
+            for raw in data["findings"]
+        )
+        files_checked = int(data["files_checked"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return LintResult(findings=findings, files_checked=files_checked)
+
+
+def store(cache_path: Path, key: str, result: LintResult) -> None:
+    """Persist ``result`` under ``key`` (single-entry cache, last run wins)."""
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "key": key,
+        "files_checked": result.files_checked,
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    tmp = cache_path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    tmp.replace(cache_path)
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_PATH",
+    "config_fingerprint",
+    "load_cached",
+    "store",
+    "tree_key",
+]

@@ -1,0 +1,93 @@
+"""Orchestration of the whole-program pass: parse once, resolve, check.
+
+The flow mirrors the per-file engine deliberately — same config object,
+same :class:`~repro.lint.findings.Finding` model, same suppression
+directives, same exit-code contract — so ``repro lint --xmod`` composes
+with everything already built on ``repro lint`` (text/JSON reporters, CI
+gating) and adds only what is genuinely new: the cross-module context and
+the baseline/cache layers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import PARSE_RULE, _suppressed, iter_python_files
+from repro.lint.findings import Finding, LintResult
+from repro.lint.xmod.callgraph import CallGraph, build_call_graph
+from repro.lint.xmod.rules import XMOD_RULES, XmodContext
+from repro.lint.xmod.symbols import Project
+
+#: bumped whenever rule semantics change, so stale caches self-invalidate.
+XMOD_ANALYZER_VERSION = 1
+
+
+def analyze_project(
+    project: Project, config: LintConfig
+) -> tuple[list[Finding], CallGraph]:
+    """Run every enabled cross-module rule over an already-loaded project."""
+    graph = build_call_graph(project)
+    ctx = XmodContext(project=project, graph=graph, config=config)
+    by_path = {info.path: info for info in project.modules.values()}
+
+    findings: list[Finding] = []
+    for path, message in project.parse_failures:
+        findings.append(
+            Finding(
+                path=path,
+                line=1,
+                column=0,
+                rule=PARSE_RULE,
+                severity="error",
+                message=f"file does not parse: {message}",
+            )
+        )
+    for rule in XMOD_RULES.values():
+        if not config.rule_enabled(rule.id):
+            continue
+        severity = config.severity_of(rule.id, rule.default_severity)
+        for path, line, column, message in rule.check(ctx):
+            info = by_path.get(path)
+            if info is not None and _suppressed(
+                line, rule.id, info.suppressions
+            ):
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    column=column,
+                    rule=rule.id,
+                    severity=severity,
+                    message=message,
+                )
+            )
+    # one callable flowing into several submission sites yields the same
+    # finding once per site — report each distinct location once
+    return sorted(dict.fromkeys(findings)), graph
+
+
+def analyze_files(
+    files: list[Path], config: LintConfig
+) -> LintResult:
+    """Whole-program analysis over an explicit file list."""
+    project = Project.load(files)
+    findings, _ = analyze_project(project, config)
+    return LintResult(
+        findings=tuple(findings), files_checked=len(project.modules)
+        + len(project.parse_failures),
+    )
+
+
+def analyze_paths(paths: list[str], config: LintConfig) -> LintResult:
+    """Whole-program analysis over command-line path operands."""
+    return analyze_files(iter_python_files(paths, config), config)
+
+
+__all__ = [
+    "XMOD_ANALYZER_VERSION",
+    "analyze_files",
+    "analyze_paths",
+    "analyze_project",
+]

@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.util.bits import LINE_SHIFT
 
+from repro.errors import ConfigError
+
 
 class MemoryAccess(NamedTuple):
     """A single trace record (scalar view of one :class:`Trace` row)."""
@@ -48,7 +50,7 @@ class Trace:
     def __post_init__(self) -> None:
         n = len(self.addresses)
         if len(self.is_write) != n or len(self.gaps) != n:
-            raise ValueError("trace columns must have equal length")
+            raise ConfigError("trace columns must have equal length")
         if self.addresses.dtype != np.uint64:
             object.__setattr__(self, "addresses", self.addresses.astype(np.uint64))
         if self.is_write.dtype != np.bool_:
@@ -95,7 +97,7 @@ class Trace:
     def with_offset(self, byte_offset: int) -> "Trace":
         """Shift the whole address space (used to isolate cores' footprints)."""
         if byte_offset < 0:
-            raise ValueError("offset must be non-negative")
+            raise ConfigError("offset must be non-negative")
         return Trace(
             self.addresses + np.uint64(byte_offset), self.is_write, self.gaps
         )
@@ -138,7 +140,7 @@ class Trace:
                     continue
                 parts = line.split()
                 if len(parts) not in (2, 3) or parts[0] not in ("R", "W"):
-                    raise ValueError(f"{path}:{lineno}: bad record {line!r}")
+                    raise ConfigError(f"{path}:{lineno}: bad record {line!r}")
                 gap = int(parts[2]) if len(parts) == 3 else 0
                 records.append((int(parts[1], 16), parts[0] == "W", gap))
         return Trace.from_records(records)

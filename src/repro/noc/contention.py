@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
+
 
 @dataclass
 class BankPort:
@@ -54,7 +56,7 @@ class ContentionModel:
 
     def __post_init__(self) -> None:
         if self.num_banks < 1:
-            raise ValueError("need at least one bank")
+            raise ConfigError("need at least one bank")
         self.ports = [
             BankPort(self.bank_busy_cycles) for _ in range(self.num_banks)
         ]

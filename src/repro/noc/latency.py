@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from repro.config import L2Config
 from repro.noc.topology import Floorplan
 
+from repro.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class LatencyModel:
@@ -30,7 +32,7 @@ class LatencyModel:
 
     def __post_init__(self) -> None:
         if self.min_latency < 1 or self.max_latency < self.min_latency:
-            raise ValueError("latency bounds must satisfy 1 <= min <= max")
+            raise ConfigError("latency bounds must satisfy 1 <= min <= max")
 
     @property
     def cycles_per_hop(self) -> float:

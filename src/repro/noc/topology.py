@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 from repro.util.floorplan import center_bank_positions
 
+from repro.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class Floorplan:
@@ -35,9 +37,9 @@ class Floorplan:
 
     def __post_init__(self) -> None:
         if self.num_banks < self.num_cores:
-            raise ValueError("need one Local bank per core")
+            raise ConfigError("need one Local bank per core")
         if self.num_cores < 1:
-            raise ValueError("need at least one core")
+            raise ConfigError("need at least one core")
 
     @property
     def num_centers(self) -> int:

@@ -6,7 +6,7 @@ contained-failure handling (clean message, exit 2) covers them for free.
 
 from __future__ import annotations
 
-from repro.resilience.errors import ReproError
+from repro.errors import ReproError
 
 
 class ObsError(ReproError):

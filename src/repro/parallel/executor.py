@@ -27,7 +27,7 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any
 
-from repro.resilience.errors import ConfigError, WorkerCrashError
+from repro.errors import ConfigError, WorkerCrashError
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.timing import wall_clock
 from repro.telemetry.tracer import Tracer

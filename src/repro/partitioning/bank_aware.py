@@ -32,7 +32,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.profiling.miss_curve import MissCurve
-from repro.resilience.errors import PartitionInvariantError
+from repro.errors import ConfigError, PartitionInvariantError
 
 
 @dataclass(frozen=True)
@@ -126,16 +126,16 @@ def bank_aware_partition(
     """
     n = len(curves)
     if n < 1:
-        raise ValueError("need at least one core")
+        raise ConfigError("need at least one core")
     num_centers = num_banks - n
     if num_centers < 0:
-        raise ValueError("need one Local bank per core")
+        raise ConfigError("need one Local bank per core")
     total_ways = num_banks * bank_ways
     cap = (
         (total_ways * 9) // 16 if max_ways_per_core is None else max_ways_per_core
     )
     if cap < bank_ways:
-        raise ValueError("cap must allow at least the Local bank")
+        raise ConfigError("cap must allow at least the Local bank")
 
     # ---- Phase A: whole Center banks by marginal utility (Boxes 1-3) ------
     alloc = [bank_ways] * n  # each Local bank assumed owned by its core

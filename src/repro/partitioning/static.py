@@ -8,13 +8,15 @@
 
 from __future__ import annotations
 
+from repro.errors import ConfigError
+
 
 def equal_partition(num_cores: int, total_ways: int) -> list[int]:
     """The fixed even share per core (paper: 16 ways each)."""
     if num_cores < 1:
-        raise ValueError("need at least one core")
+        raise ConfigError("need at least one core")
     if total_ways % num_cores:
-        raise ValueError("total ways must divide evenly among cores")
+        raise ConfigError("total ways must divide evenly among cores")
     return [total_ways // num_cores] * num_cores
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.profiling.miss_curve import MissCurve
-from repro.resilience.errors import PartitionInvariantError
+from repro.errors import ConfigError, PartitionInvariantError
 
 
 def unrestricted_partition(
@@ -46,14 +46,14 @@ def unrestricted_partition(
     """
     n = len(curves)
     if n == 0:
-        raise ValueError("need at least one core")
+        raise ConfigError("need at least one core")
     cap = total_ways if max_ways_per_core is None else max_ways_per_core
     if cap < min_ways:
-        raise ValueError("cap below the per-core minimum")
+        raise ConfigError("cap below the per-core minimum")
     if n * min_ways > total_ways:
-        raise ValueError("not enough ways for the per-core minimum")
+        raise ConfigError("not enough ways for the per-core minimum")
     if n * cap < total_ways:
-        raise ValueError("caps make the capacity unassignable")
+        raise ConfigError("caps make the capacity unassignable")
 
     alloc = [min_ways] * n
     remaining = total_ways - sum(alloc)
@@ -69,7 +69,7 @@ def unrestricted_partition(
             if mu > best_mu:
                 best_mu, best_core, best_extra = mu, core, extra
         if best_core < 0:
-            raise RuntimeError("no core can accept more ways")  # caps checked above
+            raise PartitionInvariantError("no core can accept more ways")  # caps checked above
         if best_mu <= 0.0:
             # Every curve is flat: spread the leftovers round-robin so the
             # capacity is still fully assigned (it cannot hurt).
@@ -93,5 +93,5 @@ def unrestricted_partition(
 def predicted_misses(curves: Sequence[MissCurve], ways: Sequence[int]) -> float:
     """Total projected misses of an allocation (the Monte Carlo metric)."""
     if len(curves) != len(ways):
-        raise ValueError("one way count per curve required")
+        raise ConfigError("one way count per curve required")
     return sum(curve.misses_at(w) for curve, w in zip(curves, ways))

@@ -19,6 +19,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class MissCurve:
@@ -31,11 +33,11 @@ class MissCurve:
     def __post_init__(self) -> None:
         m = np.asarray(self.misses, dtype=np.float64)
         if m.ndim != 1 or len(m) < 2:
-            raise ValueError("need misses for at least sizes 0 and 1")
+            raise ConfigError("need misses for at least sizes 0 and 1")
         if np.any(np.diff(m) > 1e-9):
-            raise ValueError("miss counts must be non-increasing in ways")
+            raise ConfigError("miss counts must be non-increasing in ways")
         if self.total_accesses < m[0] - 1e-9:
-            raise ValueError("size-0 misses cannot exceed total accesses")
+            raise ConfigError("size-0 misses cannot exceed total accesses")
         object.__setattr__(self, "misses", m)
 
     @property
@@ -46,7 +48,7 @@ class MissCurve:
         """Projected misses with ``ways`` dedicated ways (clamped at K —
         an LRU cache larger than the tracked depth cannot miss more)."""
         if ways < 0:
-            raise ValueError("ways must be non-negative")
+            raise ConfigError("ways must be non-negative")
         return float(self.misses[min(ways, self.max_ways)])
 
     def miss_ratio_at(self, ways: int) -> float:
@@ -64,14 +66,14 @@ class MissCurve:
     def marginal_utility(self, current: int, extra: int) -> float:
         """Miss reduction per way of growing from ``current`` by ``extra``."""
         if extra < 1:
-            raise ValueError("extra ways must be positive")
+            raise ConfigError("extra ways must be positive")
         return (self.misses_at(current) - self.misses_at(current + extra)) / extra
 
     def marginal_utilities(self, current: int, max_extra: int) -> np.ndarray:
         """``out[n-1]`` = marginal utility of ``n`` extra ways, vectorised
         for n = 1..max_extra (the lookahead scan of the UCP algorithm)."""
         if max_extra < 1:
-            raise ValueError("max_extra must be positive")
+            raise ConfigError("max_extra must be positive")
         base = self.misses_at(current)
         sizes = np.minimum(current + np.arange(1, max_extra + 1), self.max_ways)
         return (base - self.misses[sizes]) / np.arange(1.0, max_extra + 1)
@@ -90,7 +92,7 @@ class MissCurve:
         """Build a curve from an MSA histogram (K hit counters + miss)."""
         h = np.asarray(histogram, dtype=np.float64)
         if h.ndim != 1 or len(h) < 2:
-            raise ValueError("histogram needs K hit counters plus a miss bin")
+            raise ConfigError("histogram needs K hit counters plus a miss bin")
         total = float(h.sum()) if total_accesses is None else total_accesses
         hits_cum = np.concatenate(([0.0], np.cumsum(h[:-1])))
         return MissCurve(name, total - hits_cum, total)

@@ -21,6 +21,8 @@ import numpy as np
 from repro.profiling.batched import batch_eligible, batched_depth_bins
 from repro.util.bits import is_pow2
 
+from repro.errors import ConfigError
+
 
 class MSAProfiler:
     """Exact per-set LRU stack-distance histogram over ``positions`` ways.
@@ -36,9 +38,9 @@ class MSAProfiler:
 
     def __init__(self, num_sets: int, positions: int) -> None:
         if not is_pow2(num_sets):
-            raise ValueError("num_sets must be a power of two")
+            raise ConfigError("num_sets must be a power of two")
         if positions < 1:
-            raise ValueError("need at least one stack position")
+            raise ConfigError("need at least one stack position")
         self.num_sets = num_sets
         self.positions = positions
         self._set_mask = num_sets - 1
@@ -127,7 +129,7 @@ class MSAProfiler:
 
     def misses_at(self, ways: int) -> float:
         if not 0 <= ways <= self.positions:
-            raise ValueError(f"ways must be in 0..{self.positions}")
+            raise ConfigError(f"ways must be in 0..{self.positions}")
         return float(self.miss_counts()[ways])
 
     def miss_ratio_curve(self) -> np.ndarray:
@@ -148,7 +150,7 @@ class MSAProfiler:
         """Exponentially age the counters between epochs so the dynamic
         controller tracks phase changes without forgetting instantly."""
         if not 0.0 <= factor <= 1.0:
-            raise ValueError("decay factor must be in [0, 1]")
+            raise ConfigError("decay factor must be in [0, 1]")
         self._counters *= factor
         self._mass *= factor
 

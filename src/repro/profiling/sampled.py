@@ -30,6 +30,8 @@ from repro.profiling.batched import (
 from repro.profiling.msa import MSAProfiler
 from repro.util.bits import hash_fold, is_pow2
 
+from repro.errors import ConfigError
+
 
 class SampledMSAProfiler:
     """MSA histogram from sampled sets and hashed (partial) tags."""
@@ -45,17 +47,17 @@ class SampledMSAProfiler:
         tag_mode: str = "truncate",
     ) -> None:
         if not is_pow2(num_sets):
-            raise ValueError("num_sets must be a power of two")
+            raise ConfigError("num_sets must be a power of two")
         if not is_pow2(set_sampling) or set_sampling > num_sets:
-            raise ValueError("set sampling must be a power of two <= num_sets")
+            raise ConfigError("set sampling must be a power of two <= num_sets")
         if positions < 1:
-            raise ValueError("need at least one stack position")
+            raise ConfigError("need at least one stack position")
         if partial_tag_bits < 1:
-            raise ValueError("partial tags need at least one bit")
+            raise ConfigError("partial tags need at least one bit")
         if not 0 <= sample_offset < set_sampling:
-            raise ValueError("sample offset out of range")
+            raise ConfigError("sample offset out of range")
         if tag_mode not in ("truncate", "fold"):
-            raise ValueError("tag_mode must be 'truncate' or 'fold'")
+            raise ConfigError("tag_mode must be 'truncate' or 'fold'")
         self.tag_mode = tag_mode
         self.num_sets = num_sets
         self.positions = positions
@@ -187,7 +189,7 @@ class SampledMSAProfiler:
 
     def misses_at(self, ways: int) -> float:
         if not 0 <= ways <= self.positions:
-            raise ValueError(f"ways must be in 0..{self.positions}")
+            raise ConfigError(f"ways must be in 0..{self.positions}")
         return float(self.miss_counts()[ways])
 
     def miss_ratio_curve(self) -> np.ndarray:
@@ -202,7 +204,7 @@ class SampledMSAProfiler:
 
     def decay(self, factor: float = 0.5) -> None:
         if not 0.0 <= factor <= 1.0:
-            raise ValueError("decay factor must be in [0, 1]")
+            raise ConfigError("decay factor must be in [0, 1]")
         self._counters *= factor
         self._mass *= factor
 

@@ -14,7 +14,7 @@ from repro.resilience.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
-from repro.resilience.errors import (
+from repro.errors import (
     CheckpointCorrupt,
     CheckpointCorruptError,
     CheckpointMismatchError,

@@ -36,7 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 
-from repro.resilience.errors import CheckpointCorrupt, CheckpointMismatchError
+from repro.errors import CheckpointCorrupt, CheckpointMismatchError, ConfigError
 from repro.util.atomic_write import atomic_write_bytes, atomic_write_text
 
 FORMAT = "repro-sweep-checkpoint"
@@ -155,7 +155,7 @@ class SweepCheckpoint:
         resume: bool = False,
     ) -> None:
         if every < 1:
-            raise ValueError("checkpoint interval must be at least 1 item")
+            raise ConfigError("checkpoint interval must be at least 1 item")
         self.path = path
         self.kind = kind
         self.meta = dict(meta)

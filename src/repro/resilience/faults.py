@@ -26,7 +26,7 @@ import numpy as np
 
 from dataclasses import dataclass
 
-from repro.resilience.errors import ConfigError
+from repro.errors import ConfigError
 from repro.util.rng import rng_stream
 
 FAULT_KINDS = ("zero", "freeze", "corrupt", "degenerate", "drop-epoch")

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.profiling.miss_curve import MissCurve
-from repro.resilience.errors import (
+from repro.errors import (
     ConfigError,
     PartitionInvariantError,
     ProfilerFault,

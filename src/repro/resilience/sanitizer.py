@@ -32,7 +32,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.resilience.errors import (
+from repro.errors import (
+    ConfigError,
     PartitionInvariantError,
     SanitizerViolation,
 )
@@ -54,7 +55,7 @@ class ReproSanitizer:
 
     def __init__(self, *, rel_tolerance: float = 1e-6) -> None:
         if rel_tolerance <= 0:
-            raise ValueError("tolerance must be positive")
+            raise ConfigError("tolerance must be positive")
         self.rel_tolerance = rel_tolerance
         self.checks_run = 0
 

@@ -32,7 +32,7 @@ from repro.partitioning.allocation import (
 from repro.partitioning.bank_aware import BankAwareDecision, bank_aware_partition
 from repro.partitioning.unrestricted import unrestricted_partition
 from repro.profiling.miss_curve import MissCurve
-from repro.resilience.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError
 from repro.resilience.faults import FaultInjector
 from repro.resilience.guard import DecisionGuard, DegradedMode
 from repro.resilience.sanitizer import ReproSanitizer

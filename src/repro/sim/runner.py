@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.config import SystemConfig, scaled_config
 from repro.parallel.executor import ParallelExecutor
 from repro.resilience.checkpoint import SweepCheckpoint
-from repro.resilience.errors import CheckpointCorrupt
+from repro.errors import CheckpointCorrupt, ConfigError
 from repro.resilience.faults import FaultPlan
 from repro.sim.stats import SystemResult
 from repro.sim.system import DETAILED_SCHEMES, CMPSystem
@@ -96,7 +96,7 @@ def build_system(
     st = settings or RunSettings()
     specs = mix.specs()
     if len(specs) != cfg.num_cores:
-        raise ValueError(
+        raise ConfigError(
             f"mix has {len(specs)} workloads, machine has {cfg.num_cores} cores"
         )
     traces = [

@@ -43,6 +43,8 @@ from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer
 from repro.workloads.synthetic import WorkloadSpec
 
+from repro.errors import ConfigError
+
 #: the paper's detailed-simulation schemes (Figs. 8/9 compare these three).
 DETAILED_SCHEMES = ("no-partitions", "equal-partitions", "bank-aware")
 
@@ -72,11 +74,11 @@ class CMPSystem:
     ) -> None:
         config.validate()
         if scheme not in ALL_SIM_SCHEMES:
-            raise ValueError(f"scheme must be one of {ALL_SIM_SCHEMES}")
+            raise ConfigError(f"scheme must be one of {ALL_SIM_SCHEMES}")
         if len(specs) != config.num_cores or len(traces) != config.num_cores:
-            raise ValueError("need one spec and one trace per core")
+            raise ConfigError("need one spec and one trace per core")
         if profiler_kind not in ("sampled", "exact", "none"):
-            raise ValueError("profiler_kind must be sampled/exact/none")
+            raise ConfigError("profiler_kind must be sampled/exact/none")
         self.config = config
         self.specs = list(specs)
         self.scheme = scheme
@@ -125,7 +127,7 @@ class CMPSystem:
             )
         if scheme in ("bank-aware", "unrestricted"):
             if self.profilers is None:
-                raise ValueError(f"the {scheme} scheme requires profilers")
+                raise ConfigError(f"the {scheme} scheme requires profilers")
             res = config.resilience
             guard = None
             if res.guard_enabled:
@@ -196,9 +198,9 @@ class CMPSystem:
         cycles (the paper warms its caches before the measured slice) and
         optionally stop the whole run at ``max_cycles``."""
         if warmup_cycles < 0:
-            raise ValueError("warmup must be non-negative")
+            raise ConfigError("warmup must be non-negative")
         if max_cycles is not None and max_cycles <= warmup_cycles:
-            raise ValueError("max_cycles must exceed the warmup")
+            raise ConfigError("max_cycles must exceed the warmup")
         self.warmup_cycles = float(warmup_cycles)
         self.max_cycles = max_cycles
 

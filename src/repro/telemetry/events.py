@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 
-from repro.resilience.errors import ReproError
+from repro.errors import ReproError
 
 #: bumped on any breaking change to an event schema below.
 SCHEMA_VERSION = 1

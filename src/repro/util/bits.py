@@ -1,8 +1,13 @@
-"""Bit-manipulation helpers used by caches and profilers."""
+"""Bit-manipulation helpers used by caches and profilers.
+
+This module is a dependency leaf: it owns the line-size primitive so that
+higher layers (``repro.config`` re-exports :data:`LINE_SIZE`) can depend on
+it without creating import cycles.
+"""
 
 from __future__ import annotations
 
-from repro.config import LINE_SIZE
+LINE_SIZE = 64  #: cache line size in bytes used throughout the paper.
 
 LINE_SHIFT = LINE_SIZE.bit_length() - 1
 

@@ -15,6 +15,8 @@ from repro.util.rng import rng_stream
 from repro.workloads.spec_like import ALL_NAMES, get
 from repro.workloads.synthetic import WorkloadSpec
 
+from repro.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class Mix:
@@ -65,7 +67,7 @@ def random_mixes(
     """Draw ``count`` random mixes with repetition (the paper's Monte Carlo
     methodology, Section IV.A, step 2)."""
     if count < 0:
-        raise ValueError("count must be non-negative")
+        raise ConfigError("count must be non-negative")
     rng = rng_stream(seed, "mixes", num_cores, names)
     out = []
     for _ in range(count):

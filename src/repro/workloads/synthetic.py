@@ -41,6 +41,8 @@ import zlib
 from repro.mem.trace import Trace
 from repro.util.rng import rng_stream
 
+from repro.errors import ConfigError
+
 #: byte span reserved for each pool/stream region so regions never overlap.
 _REGION_SPAN = 1 << 34
 
@@ -79,11 +81,11 @@ class ReusePool:
 
     def __post_init__(self) -> None:
         if self.ways < 1:
-            raise ValueError("pool footprint must be at least one way")
+            raise ConfigError("pool footprint must be at least one way")
         if self.weight <= 0:
-            raise ValueError("pool weight must be positive")
+            raise ConfigError("pool weight must be positive")
         if self.zipf < 0:
-            raise ValueError("zipf exponent must be non-negative")
+            raise ConfigError("zipf exponent must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -106,15 +108,15 @@ class WorkloadSpec:
             object.__setattr__(self, "pools", (self.pools,))
         object.__setattr__(self, "pools", tuple(self.pools))
         if not self.pools and self.stream_weight <= 0:
-            raise ValueError("workload needs at least one component")
+            raise ConfigError("workload needs at least one component")
         if self.stream_weight < 0:
-            raise ValueError("stream weight must be non-negative")
+            raise ConfigError("stream weight must be non-negative")
         if not 0 <= self.write_fraction <= 1:
-            raise ValueError("write fraction must be in [0, 1]")
+            raise ConfigError("write fraction must be in [0, 1]")
         if self.l2_apki <= 0:
-            raise ValueError("l2_apki must be positive")
+            raise ConfigError("l2_apki must be positive")
         if self.mlp < 1:
-            raise ValueError("MLP must be at least 1")
+            raise ConfigError("MLP must be at least 1")
 
     @property
     def mean_gap(self) -> float:
@@ -169,7 +171,7 @@ def generate_trace(
     sampling.
     """
     if num_accesses < 0:
-        raise ValueError("num_accesses must be non-negative")
+        raise ConfigError("num_accesses must be non-negative")
     # base_address deliberately not in the RNG key: offsetting a trace in
     # the address space must not change its access pattern.
     rng = rng_stream(seed, "trace", spec.name)
@@ -219,7 +221,7 @@ class PhasedWorkload:
 
     def generate(self, num_sets: int, *, seed: int = 0, base_address: int = 0) -> Trace:
         if not self.phases:
-            raise ValueError("phased workload needs at least one phase")
+            raise ConfigError("phased workload needs at least one phase")
         parts = [
             generate_trace(
                 spec,
