@@ -247,7 +247,11 @@ def detailed_sets(
     """Run the paper's eight detailed mixes under all three schemes.
 
     ``jobs`` fans the independent (mix, scheme) simulations out over
-    worker processes with bit-identical results (default serial)."""
+    worker processes with bit-identical results (default serial).
+    ``settings.sim_backend='batched'`` runs every simulation on the
+    struct-of-arrays engine (:mod:`repro.sim.batched`) — bit-identical
+    to the reference loop and several times faster, so full-length
+    Fig. 8/9 sweeps become practical on one machine."""
     cfg = config or scaled_config(epoch_cycles=3_000_000)
     st = settings or RunSettings(duration_cycles=12_000_000)
     return DetailedResults(run_sweep(list(sets), cfg, st, jobs=jobs))

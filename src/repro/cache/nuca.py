@@ -31,7 +31,6 @@ is the partial-tag directory the paper assumes for Parallel allocation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import NamedTuple
 
 from repro.cache.bank import CacheBank
@@ -54,35 +53,105 @@ class AccessResult(NamedTuple):
     migrations: int  #: bank-to-bank block moves triggered by this access
 
 
-@dataclass
 class NucaStats:
-    """L2-level per-core accounting."""
+    """L2-level per-core accounting.
 
-    hits: dict[int, int] = field(default_factory=dict)
-    misses: dict[int, int] = field(default_factory=dict)
-    migrations: int = 0
-    writebacks: int = 0
+    The hot-path counters are flat per-core lists (``record`` is a single
+    list index per access); the historical ``hits``/``misses`` dict views
+    stay available as properties for the public API.
+    """
+
+    __slots__ = ("_hits", "_misses", "migrations", "writebacks")
+
+    def __init__(
+        self,
+        hits: dict[int, int] | None = None,
+        misses: dict[int, int] | None = None,
+        migrations: int = 0,
+        writebacks: int = 0,
+        *,
+        num_cores: int = 0,
+    ) -> None:
+        n = num_cores
+        if hits:
+            n = max(n, max(hits) + 1)
+        if misses:
+            n = max(n, max(misses) + 1)
+        self._hits = [0] * n
+        self._misses = [0] * n
+        for core, v in (hits or {}).items():
+            self._hits[core] = v
+        for core, v in (misses or {}).items():
+            self._misses[core] = v
+        self.migrations = migrations
+        self.writebacks = writebacks
+
+    def _grow(self, size: int) -> None:
+        pad = size - len(self._hits)
+        if pad > 0:
+            self._hits.extend([0] * pad)
+            self._misses.extend([0] * pad)
+
+    @property
+    def hits(self) -> dict[int, int]:
+        """Per-core hit counts (cores with at least one hit)."""
+        return {c: v for c, v in enumerate(self._hits) if v}
+
+    @property
+    def misses(self) -> dict[int, int]:
+        """Per-core miss counts (cores with at least one miss)."""
+        return {c: v for c, v in enumerate(self._misses) if v}
 
     def record(self, core: int, hit: bool) -> None:
-        book = self.hits if hit else self.misses
-        book[core] = book.get(core, 0) + 1
+        book = self._hits if hit else self._misses
+        try:
+            book[core] += 1
+        except IndexError:
+            self._grow(core + 1)
+            book[core] += 1
+
+    def core_hits(self, core: int) -> int:
+        return self._hits[core] if core < len(self._hits) else 0
+
+    def core_misses(self, core: int) -> int:
+        return self._misses[core] if core < len(self._misses) else 0
 
     def core_accesses(self, core: int) -> int:
-        return self.hits.get(core, 0) + self.misses.get(core, 0)
+        return self.core_hits(core) + self.core_misses(core)
 
     def core_miss_rate(self, core: int) -> float:
         acc = self.core_accesses(core)
-        return self.misses.get(core, 0) / acc if acc else 0.0
+        return self.core_misses(core) / acc if acc else 0.0
+
+    def total_hits(self) -> int:
+        return sum(self._hits)
 
     def total_misses(self) -> int:
-        return sum(self.misses.values())
+        return sum(self._misses)
 
     def total_accesses(self) -> int:
-        return sum(self.hits.values()) + sum(self.misses.values())
+        return sum(self._hits) + sum(self._misses)
 
     def snapshot(self) -> "NucaStats":
         return NucaStats(
-            dict(self.hits), dict(self.misses), self.migrations, self.writebacks
+            self.hits, self.misses, self.migrations, self.writebacks,
+            num_cores=len(self._hits),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NucaStats):
+            return NotImplemented
+        return (
+            self.hits == other.hits
+            and self.misses == other.misses
+            and self.migrations == other.migrations
+            and self.writebacks == other.writebacks
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NucaStats(hits={self.hits}, misses={self.misses}, "
+            f"migrations={self.migrations}, writebacks={self.writebacks})"
         )
 
 
@@ -126,7 +195,7 @@ class NucaL2:
         self._pmap: PartitionMap | None = None
         self._rr: dict[int, int] = {}
         self._shared_rr = 0
-        self.stats = NucaStats()
+        self.stats = NucaStats(num_cores=num_cores)
 
     # -- configuration ------------------------------------------------------
 
@@ -522,8 +591,8 @@ class NucaL2:
         so untraced runs pay nothing.  Every value is simulated state,
         identical between serial and parallel runs.
         """
-        registry.counter("l2.hits").inc(sum(self.stats.hits.values()))
-        registry.counter("l2.misses").inc(sum(self.stats.misses.values()))
+        registry.counter("l2.hits").inc(self.stats.total_hits())
+        registry.counter("l2.misses").inc(self.stats.total_misses())
         registry.counter("l2.migrations").inc(self.stats.migrations)
         registry.counter("l2.writebacks").inc(self.stats.writebacks)
         registry.gauge("l2.occupancy").set(self.occupancy())

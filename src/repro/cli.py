@@ -118,7 +118,7 @@ from repro.resilience import (
     ProfilerFault,
     ReproError,
 )
-from repro.sim import RunSettings, compare_schemes, run_mix
+from repro.sim import SIM_BACKENDS, RunSettings, compare_schemes, run_mix
 from repro.telemetry import (
     Tracer,
     check_trace,
@@ -408,7 +408,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     settings = RunSettings(duration_cycles=args.duration, seed=args.seed,
                            fault_plan=_fault_plan(args),
                            sanitize=args.sanitize,
-                           trace=bool(args.trace))
+                           trace=bool(args.trace),
+                           sim_backend=args.sim_backend)
     result = run_mix(mix, args.scheme, cfg, settings)
     if args.trace:
         write_jsonl(args.trace, result.events)
@@ -420,7 +421,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         workloads=mix.names,
         settings={"scheme": args.scheme, "duration_cycles": args.duration,
                   "seed": args.seed, "scale": args.scale,
-                  "epoch_cycles": args.epoch},
+                  "epoch_cycles": args.epoch,
+                  "sim_backend": args.sim_backend},
         headline=headline_from_result(result),
         trace_events=result.events if args.trace else None,
     )
@@ -447,7 +449,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     settings = RunSettings(duration_cycles=args.duration, seed=args.seed,
                            fault_plan=_fault_plan(args),
                            sanitize=args.sanitize,
-                           trace=bool(args.trace))
+                           trace=bool(args.trace),
+                           sim_backend=args.sim_backend)
     # the sink feeds 'repro watch' while the run grows; write_jsonl then
     # atomically replaces it with the complete durable stream
     tracer = Tracer(sink=args.trace) if args.trace else None
@@ -479,7 +482,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         workloads=mix.names,
         settings={"duration_cycles": args.duration, "seed": args.seed,
                   "scale": args.scale, "epoch_cycles": args.epoch,
-                  "jobs": args.jobs},
+                  "jobs": args.jobs, "sim_backend": args.sim_backend},
         headline=headline_from_comparison(comp),
         trace_events=tracer.events if tracer is not None else None,
     )
@@ -976,6 +979,14 @@ def build_parser() -> argparse.ArgumentParser:
             )
         p.add_argument("--duration", type=_positive_float, default=4_000_000)
         p.add_argument("--seed", type=_positive_int, default=7)
+        p.add_argument(
+            "--sim-backend",
+            default="reference",
+            choices=SIM_BACKENDS,
+            help="execution engine: 'reference' (checked object-model event "
+                 "loop) or 'batched' (struct-of-arrays engine, bit-identical "
+                 "and several times faster)",
+        )
         _add_fault_args(p)
         _add_sanitize_arg(p)
         _add_trace_arg(p)

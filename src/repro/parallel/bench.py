@@ -10,7 +10,10 @@ A fixed micro/meso benchmark ladder over the reproduction's hot paths:
 * ``montecarlo_slice``      — a slice of the Fig. 7 sweep (profile reuse,
   partitioning algorithms, checkpoint-format serialisation);
 * ``detailed_epoch``        — one detailed simulation through several
-  repartitioning epochs;
+  repartitioning epochs (the reference object-model event loop);
+* ``detailed_epoch_batched``— the identical simulation on the
+  struct-of-arrays engine (``--sim-backend batched``), asserted
+  bit-identical and recorded with its measured speedup;
 * ``tracer_extend``         — parent-side merge of a worker event stream
   via the ``pre_validated`` fast path, with the re-validating merge
   measured alongside so the traced-overhead delta stays visible.
@@ -133,31 +136,66 @@ def _bench_montecarlo(
     )
 
 
-def _bench_detailed(quick: bool) -> dict:
+def _timed_mixes(cfg, settings_list, reps: int):
+    """Best-of-``reps`` wall clock for several detailed runs (identical
+    runs — the simulation is deterministic — so min is the honest
+    estimator under scheduler/host jitter).  The variants are interleaved
+    round-robin across reps so host frequency drift during the suite
+    biases every variant equally instead of skewing their ratios."""
+    best = [float("inf")] * len(settings_list)
+    results = [None] * len(settings_list)
+    for _ in range(reps):
+        for i, settings in enumerate(settings_list):
+            t0 = time.perf_counter()
+            results[i] = run_mix(TABLE_III_SETS[1], "bank-aware", cfg, settings)
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best, results
+
+
+def _bench_detailed(quick: bool) -> list[dict]:
     scale = 32 if quick else 8
     duration = 300_000.0 if quick else 1_500_000.0
     epoch = 100_000 if quick else 500_000
+    # the quick suite is the CI smoke: take best-of-3 there so host jitter
+    # does not leak into the backend-speedup gate; full runs stay single
+    reps = 3 if quick else 1
     cfg = scaled_config(scale, epoch_cycles=epoch)
-    settings = RunSettings(duration_cycles=duration, seed=7)
-    t0 = time.perf_counter()
-    result = run_mix(TABLE_III_SETS[1], "bank-aware", cfg, settings)
-    wall = time.perf_counter() - t0
-    # same run with telemetry on: the overhead contract says tracing must
-    # stay within a few percent of the untraced wall clock
-    traced_settings = RunSettings(duration_cycles=duration, seed=7, trace=True)
-    t0 = time.perf_counter()
-    traced = run_mix(TABLE_III_SETS[1], "bank-aware", cfg, traced_settings)
-    traced_wall = time.perf_counter() - t0
-    return _entry(
-        "detailed_epoch", wall, duration / wall, "cycles/s",
-        scale=scale,
-        duration_cycles=duration,
-        epochs=len(result.epochs),
-        l2_accesses=sum(c.l2_accesses for c in result.cores),
-        traced_wall_s=round(traced_wall, 6),
-        traced_events=len(traced.events),
-        traced_overhead_pct=round(100.0 * (traced_wall - wall) / wall, 2),
+    (wall, traced_wall, batched_wall), (result, traced, batched) = _timed_mixes(
+        cfg,
+        [
+            RunSettings(duration_cycles=duration, seed=7),
+            # same run with telemetry on: the overhead contract says tracing
+            # must stay within a few percent of the untraced wall clock
+            RunSettings(duration_cycles=duration, seed=7, trace=True),
+            # the struct-of-arrays backend on the identical simulation; the
+            # result must be bit-identical to the reference run measured above
+            RunSettings(duration_cycles=duration, seed=7, sim_backend="batched"),
+        ],
+        reps,
     )
+    if batched.to_dict() != result.to_dict():
+        raise AssertionError("batched backend diverged from reference")
+    shared = {
+        "scale": scale,
+        "duration_cycles": duration,
+        "epochs": len(result.epochs),
+        "l2_accesses": sum(c.l2_accesses for c in result.cores),
+    }
+    return [
+        _entry(
+            "detailed_epoch", wall, duration / wall, "cycles/s",
+            traced_wall_s=round(traced_wall, 6),
+            traced_events=len(traced.events),
+            traced_overhead_pct=round(100.0 * (traced_wall - wall) / wall, 2),
+            **shared,
+        ),
+        _entry(
+            "detailed_epoch_batched", batched_wall,
+            duration / batched_wall, "cycles/s",
+            speedup_vs_reference=round(wall / batched_wall, 2),
+            **shared,
+        ),
+    ]
 
 
 def _bench_tracer_merge(quick: bool) -> dict:
@@ -204,7 +242,7 @@ def run_bench_suite(
     target.parent.mkdir(parents=True, exist_ok=True)
     benchmarks = _bench_profiling(quick)
     benchmarks.append(_bench_montecarlo(quick, jobs, target.parent))
-    benchmarks.append(_bench_detailed(quick))
+    benchmarks.extend(_bench_detailed(quick))
     benchmarks.append(_bench_tracer_merge(quick))
     payload = {
         "format": FORMAT,

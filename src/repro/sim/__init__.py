@@ -10,7 +10,12 @@ from repro.sim.runner import (
     run_sweep,
 )
 from repro.sim.stats import CoreResult, EpochRecord, SystemResult
-from repro.sim.system import ALL_SIM_SCHEMES, DETAILED_SCHEMES, CMPSystem
+from repro.sim.system import (
+    ALL_SIM_SCHEMES,
+    DETAILED_SCHEMES,
+    SIM_BACKENDS,
+    CMPSystem,
+)
 
 __all__ = [
     "ALL_SIM_SCHEMES",
@@ -20,6 +25,7 @@ __all__ = [
     "EpochController",
     "EpochRecord",
     "RunSettings",
+    "SIM_BACKENDS",
     "SchemeComparison",
     "SystemResult",
     "build_system",

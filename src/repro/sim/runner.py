@@ -79,6 +79,10 @@ class RunSettings:
     #: :mod:`repro.telemetry`).  Off by default — untraced runs construct
     #: no telemetry objects and stay bit-identical to the seed behaviour.
     trace: bool = False
+    #: execution backend: 'reference' (checked object-model event loop) or
+    #: 'batched' (struct-of-arrays engine, bit-identical; see
+    #: :mod:`repro.sim.batched`).
+    sim_backend: str = "reference"
 
     @property
     def warmup_cycles(self) -> float:
@@ -126,6 +130,7 @@ def build_system(
         fault_plan=st.fault_plan,
         sanitize=st.sanitize,
         trace=st.trace,
+        backend=st.sim_backend,
     )
     system.set_measurement_window(st.warmup_cycles, st.duration_cycles)
     return system

@@ -53,6 +53,10 @@ DETAILED_SCHEMES = ("no-partitions", "equal-partitions", "bank-aware")
 #: evaluates it only analytically — we can also cross-check it in detail).
 ALL_SIM_SCHEMES = DETAILED_SCHEMES + ("unrestricted",)
 
+#: execution backends: 'reference' is the object-model discrete-event loop,
+#: 'batched' the struct-of-arrays engine (bit-identical, see repro.sim.batched).
+SIM_BACKENDS = ("reference", "batched")
+
 
 class CMPSystem:
     """An 8-core (configurable) CMP running one trace per core."""
@@ -71,10 +75,14 @@ class CMPSystem:
         fault_plan: FaultPlan | None = None,
         sanitize: bool = False,
         trace: bool = False,
+        backend: str = "reference",
     ) -> None:
         config.validate()
         if scheme not in ALL_SIM_SCHEMES:
             raise ConfigError(f"scheme must be one of {ALL_SIM_SCHEMES}")
+        if backend not in SIM_BACKENDS:
+            raise ConfigError(f"backend must be one of {SIM_BACKENDS}")
+        self.backend = backend
         if len(specs) != config.num_cores or len(traces) != config.num_cores:
             raise ConfigError("need one spec and one trace per core")
         if profiler_kind not in ("sampled", "exact", "none"):
@@ -156,10 +164,11 @@ class CMPSystem:
                 tracer=self.tracer,
             )
 
-        # flattened trace state for the event loop
-        self._lines = [t.lines.tolist() for t in traces]
-        self._writes = [t.is_write.tolist() for t in traces]
-        self._gaps = [t.gaps.tolist() for t in traces]
+        # columnar trace state for the event loop: numpy views shared with
+        # the Trace objects, so long traces are never materialised twice
+        self._lines = [t.lines for t in traces]
+        self._writes = [t.is_write for t in traces]
+        self._gaps = [t.gaps for t in traces]
         self._pos = [0] * config.num_cores
         self._len = [len(t) for t in traces]
         self.warmup_cycles = 0.0
@@ -210,13 +219,29 @@ class CMPSystem:
         pos = self._pos[core]
         if pos >= self._len[core]:
             return False
-        arrival = self.timers[core].advance_compute(self._gaps[core][pos])
+        arrival = self.timers[core].advance_compute(int(self._gaps[core][pos]))
         heapq.heappush(heap, (arrival, core))
         return True
 
     def run(self) -> SystemResult:
         """Simulate until any core's trace is exhausted (or ``max_cycles``);
         all cores are co-scheduled for the entire simulated duration."""
+        if self.backend == "batched":
+            from repro.sim.batched import run_batched
+
+            run_batched(self)
+        else:
+            self._run_reference()
+        if self.sanitizer is not None:
+            # Final deep sweep: the whole cache must still be coherent.
+            self.sanitizer.check_installation(self.l2)
+        if self.tracer is not None:
+            # end-of-run totals snapshot, by convention at epoch -1
+            self._emit_bank_snapshot(self.stop_time or 0.0, -1)
+        return self.results()
+
+    def _run_reference(self) -> None:
+        """The checked object-model event loop (one heap event per access)."""
         heap: list[tuple[float, int]] = []
         for core in range(self.config.num_cores):
             if self.warmup_cycles == 0:
@@ -241,13 +266,6 @@ class CMPSystem:
             if not self._schedule(heap, core):
                 self.stop_time = arrival  # first exhausted trace ends the run
                 break
-        if self.sanitizer is not None:
-            # Final deep sweep: the whole cache must still be coherent.
-            self.sanitizer.check_installation(self.l2)
-        if self.tracer is not None:
-            # end-of-run totals snapshot, by convention at epoch -1
-            self._emit_bank_snapshot(self.stop_time or 0.0, -1)
-        return self.results()
 
     def _emit_bank_snapshot(self, now: float, epoch: int) -> None:
         """Trace per-bank counter state (only called when tracing is on)."""
@@ -267,8 +285,8 @@ class CMPSystem:
 
     def _process(self, core: int, arrival: float) -> None:
         pos = self._pos[core]
-        line = self._lines[core][pos]
-        is_write = self._writes[core][pos]
+        line = int(self._lines[core][pos])
+        is_write = bool(self._writes[core][pos])
         if self.profilers is not None:
             self.profilers[core].observe(line)
         result = self.l2.access(core, line, is_write=is_write)
@@ -284,8 +302,8 @@ class CMPSystem:
     def _mark_measure_start(self, core: int) -> None:
         self._start_snaps[core] = self.timers[core].snapshot()
         self._start_l2[core] = (
-            self.l2.stats.hits.get(core, 0),
-            self.l2.stats.misses.get(core, 0),
+            self.l2.stats.core_hits(core),
+            self.l2.stats.core_misses(core),
         )
 
     # -- results ---------------------------------------------------------------
@@ -306,8 +324,8 @@ class CMPSystem:
                 )
                 continue
             end = self.timers[core].snapshot()
-            hits = self.l2.stats.hits.get(core, 0) - l2_start[0]
-            misses = self.l2.stats.misses.get(core, 0) - l2_start[1]
+            hits = self.l2.stats.core_hits(core) - l2_start[0]
+            misses = self.l2.stats.core_misses(core) - l2_start[1]
             out.cores.append(
                 CoreResult(
                     core,
@@ -328,16 +346,17 @@ class CMPSystem:
         if self.tracer is not None:
             out.events = list(self.tracer.events)
         if self.metrics is not None:
-            # rebuilt per call so results() stays idempotent (counters add)
-            self.metrics = MetricsRegistry()
-            self.l2.publish_metrics(self.metrics)
-            served = self.metrics.histogram("noc.port_served")
-            delay = self.metrics.histogram("noc.port_queue_delay")
+            # a fresh local registry per call keeps results() idempotent
+            # (counters only add) without mutating self.metrics
+            registry = MetricsRegistry()
+            self.l2.publish_metrics(registry)
+            served = registry.histogram("noc.port_served")
+            delay = registry.histogram("noc.port_queue_delay")
             for port in self.contention.ports:
                 served.observe(port.served)
                 delay.observe(port.total_queue_delay)
-            self.metrics.counter("mem.accesses").inc(
+            registry.counter("mem.accesses").inc(
                 self.contention.memory_port.served
             )
-            out.telemetry = self.metrics.snapshot()
+            out.telemetry = registry.snapshot()
         return out

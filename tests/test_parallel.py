@@ -392,8 +392,13 @@ class TestBenchSuite:
             "trace_generation",
             "montecarlo_slice",
             "detailed_epoch",
+            "detailed_epoch_batched",
             "tracer_extend",
         ]
+        by_name = {b["name"]: b for b in on_disk["benchmarks"]}
+        batched = by_name["detailed_epoch_batched"]
+        assert batched["meta"]["speedup_vs_reference"] > 1.0
+        assert batched["wall_s"] < by_name["detailed_epoch"]["wall_s"]
         for bench in on_disk["benchmarks"]:
             assert bench["wall_s"] > 0.0
             assert bench["throughput"] > 0.0
