@@ -27,12 +27,17 @@ from repro.config import SystemConfig, scaled_config
 from repro.parallel.executor import ParallelExecutor
 from repro.parallel.profile_cache import ProfileCache
 from repro.partitioning.bank_aware import bank_aware_partition
+from repro.partitioning.registry import (
+    PolicyContext,
+    analytic_policies,
+    get_policy,
+)
 from repro.partitioning.static import equal_partition
 from repro.partitioning.unrestricted import predicted_misses, unrestricted_partition
 from repro.profiling.miss_curve import MissCurve
 from repro.profiling.msa import MSAProfiler
 from repro.resilience.checkpoint import SweepCheckpoint
-from repro.errors import CheckpointCorrupt
+from repro.errors import CheckpointCorrupt, ConfigError
 from repro.telemetry.timing import wall_clock
 from repro.telemetry.tracer import Tracer
 
@@ -99,13 +104,19 @@ def collect_profiles(
 
 @dataclass(frozen=True)
 class MonteCarloPoint:
-    """One random mix's outcome."""
+    """One random mix's outcome.
+
+    ``policy_misses`` holds the MSA-projected misses of every extra
+    registry policy ranked by this sweep (``policies=`` /
+    ``--rank-policies``); ``None`` for the paper's plain Fig. 7 run.
+    """
 
     mix: Mix
     equal_misses: float
     unrestricted_misses: float
     bank_aware_misses: float
     bank_aware_ways: tuple[int, ...]
+    policy_misses: dict[str, float] | None = None
 
     @property
     def unrestricted_ratio(self) -> float:
@@ -124,24 +135,31 @@ class MonteCarloPoint:
         )
 
     def to_dict(self) -> dict:
-        """JSON-serialisable form (for sweep checkpoints)."""
-        return {
+        """JSON-serialisable form (for sweep checkpoints).  The
+        ``policies`` key appears only on ranked points, so plain Fig. 7
+        checkpoints keep their historical byte shape."""
+        out = {
             "mix": list(self.mix.names),
             "equal": self.equal_misses,
             "unrestricted": self.unrestricted_misses,
             "bank_aware": self.bank_aware_misses,
             "ways": list(self.bank_aware_ways),
         }
+        if self.policy_misses is not None:
+            out["policies"] = dict(self.policy_misses)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "MonteCarloPoint":
         """Inverse of :meth:`to_dict` (floats round-trip exactly via JSON)."""
+        policies = data.get("policies")
         return cls(
             Mix(tuple(data["mix"])),
             data["equal"],
             data["unrestricted"],
             data["bank_aware"],
             tuple(data["ways"]),
+            dict(policies) if policies is not None else None,
         )
 
 
@@ -195,6 +213,22 @@ class MonteCarloResult:
         unrestricted, bank_aware, order = self._ratios()
         return unrestricted[order], bank_aware[order]
 
+    def policy_ranking(self) -> list[tuple[str, float]]:
+        """Registry policies ranked by mean miss ratio vs. Equal (best
+        first, name-tiebroken), over the points that carry per-policy
+        projections.  Empty when the sweep did not rank policies."""
+        sums: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for p in self.points:
+            if p.policy_misses is None:
+                continue
+            for name, misses in p.policy_misses.items():
+                ratio = misses / p.equal_misses if p.equal_misses else 1.0
+                sums[name] = sums.get(name, 0.0) + ratio
+                counts[name] = counts.get(name, 0) + 1
+        means = [(name, sums[name] / counts[name]) for name in sums]
+        return sorted(means, key=lambda item: (item[1], item[0]))
+
     # -- persistence ---------------------------------------------------------
 
     JSON_FORMAT = "repro-monte-carlo-result"
@@ -235,11 +269,15 @@ _WORKER: dict = {}
 
 
 def _montecarlo_init(
-    curves: dict[str, MissCurve], cfg: SystemConfig, min_ways: int
+    curves: dict[str, MissCurve],
+    cfg: SystemConfig,
+    min_ways: int,
+    policies: tuple[str, ...] | None = None,
 ) -> None:
     _WORKER["curves"] = curves
     _WORKER["cfg"] = cfg
     _WORKER["min_ways"] = min_ways
+    _WORKER["policies"] = policies
 
 
 def _montecarlo_point(mix: Mix) -> MonteCarloPoint:
@@ -247,6 +285,7 @@ def _montecarlo_point(mix: Mix) -> MonteCarloPoint:
     curves: dict[str, MissCurve] = _WORKER["curves"]
     cfg: SystemConfig = _WORKER["cfg"]
     min_ways: int = _WORKER["min_ways"]
+    policies: tuple[str, ...] | None = _WORKER.get("policies")
     mix_curves = [curves[name] for name in mix.names]
     total_ways = cfg.l2.total_ways
     equal = equal_partition(cfg.num_cores, total_ways)
@@ -260,12 +299,28 @@ def _montecarlo_point(mix: Mix) -> MonteCarloPoint:
         max_ways_per_core=cfg.max_ways_per_core,
         min_ways=min_ways,
     )
+    policy_misses: dict[str, float] | None = None
+    if policies:
+        ctx = PolicyContext(
+            num_cores=cfg.num_cores,
+            num_banks=cfg.l2.num_banks,
+            bank_ways=cfg.l2.bank_ways,
+            max_ways_per_core=cfg.max_ways_per_core,
+            min_ways=min_ways,
+        )
+        policy_misses = {
+            name: predicted_misses(
+                mix_curves, list(get_policy(name).decide(mix_curves, ctx).ways)
+            )
+            for name in policies
+        }
     return MonteCarloPoint(
         mix,
         predicted_misses(mix_curves, equal),
         predicted_misses(mix_curves, unrestricted),
         predicted_misses(mix_curves, list(decision.ways)),
         decision.ways,
+        policy_misses,
     )
 
 
@@ -295,6 +350,7 @@ def run_monte_carlo(
     jobs: int | None = None,
     profile_cache: ProfileCache | None = None,
     tracer: Tracer | None = None,
+    policies: tuple[str, ...] | None = None,
 ) -> MonteCarloResult:
     """Steps 2-4 of the paper's comparison methodology for ``num_mixes``
     random workload sets.
@@ -318,8 +374,27 @@ def run_monte_carlo(
     ``tracer`` records one ``mc_point`` event per evaluated mix (emitted
     parent-side in submission order, so serial and parallel runs produce
     identical streams; see :mod:`repro.telemetry`).
+
+    ``policies`` additionally projects each mix through the named registry
+    policies (must be :func:`~repro.partitioning.registry.analytic_policies`)
+    so the result can rank them (:meth:`MonteCarloResult.policy_ranking`).
+    The extra per-point payload joins the checkpoint metadata, so a ranked
+    sweep never silently resumes a plain one (or vice versa) — legacy
+    checkpoints keep their exact key set.
     """
     cfg = config or scaled_config()
+    if policies:
+        policies = tuple(policies)
+        ranked = set(analytic_policies())
+        for name in policies:
+            get_policy(name)  # unknown names fail with the full listing
+            if name not in ranked:
+                raise ConfigError(
+                    f"policy {name!r} cannot be ranked analytically "
+                    f"(rankable: {', '.join(sorted(ranked))})"
+                )
+    else:
+        policies = None
     if curves is None:
         curves = collect_profiles(
             config=cfg, accesses=profile_accesses, cache=profile_cache
@@ -332,6 +407,8 @@ def run_monte_carlo(
         "min_ways": min_ways,
         "profile_accesses": profile_accesses,
     }
+    if policies is not None:
+        meta["policies"] = list(policies)
     ckpt = SweepCheckpoint(
         checkpoint_path, "monte-carlo", meta,
         every=cfg.resilience.checkpoint_every, resume=resume,
@@ -346,7 +423,8 @@ def run_monte_carlo(
             f"{len(result.points)} restored",
         )
     executor = ParallelExecutor(
-        jobs, initializer=_montecarlo_init, initargs=(curves, cfg, min_ways),
+        jobs, initializer=_montecarlo_init,
+        initargs=(curves, cfg, min_ways, policies),
         tracer=tracer,
     )
     try:
@@ -358,6 +436,11 @@ def run_monte_carlo(
             _montecarlo_point, todo, labels=[str(m) for m in todo]
         ):
             if tracer is not None:
+                extra = (
+                    {"policies": point.policy_misses}
+                    if point.policy_misses is not None
+                    else {}
+                )
                 tracer.emit(
                     "mc_point",
                     index=len(result.points),
@@ -366,6 +449,7 @@ def run_monte_carlo(
                     unrestricted_misses=point.unrestricted_misses,
                     bank_aware_misses=point.bank_aware_misses,
                     ways=point.bank_aware_ways,
+                    **extra,
                 )
             result.points.append(point)
             ckpt.record(point.to_dict())

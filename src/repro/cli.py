@@ -4,8 +4,10 @@ Gives downstream users the paper's pipeline without writing Python:
 
 * ``profile``    — MSA-profile one workload, print its miss-ratio curve.
 * ``partition``  — run the Bank-aware (or Unrestricted) assignment on a mix.
-* ``simulate``   — detailed simulation of a mix under one scheme.
-* ``compare``    — all three schemes on one mix, relative metrics.
+* ``simulate``   — detailed simulation of a mix under any registered
+  partitioning policy (``--scheme``; see :mod:`repro.partitioning.registry`).
+* ``compare``    — several schemes on one mix (the paper's three by
+  default, any registered policies via ``--scheme``), relative metrics.
 * ``montecarlo`` — analytic sweep over random mixes, checkpoint/resumable;
   ``--backend inproc|pool|local-cluster`` runs it under the fault-tolerant
   fabric (supervised retries, deadlines, dead-letter quarantine).
@@ -26,9 +28,11 @@ Examples::
     python -m repro profile bzip2 --ways 8,16,32,45
     python -m repro partition crafty gap mcf art equake equake bzip2 equake
     python -m repro compare --set 2 --duration 4000000 --jobs 3
+    python -m repro compare --set 2 --scheme bank-bw --scheme joint
     python -m repro compare --set 2 --inject-faults '0:zero@1,3:corrupt@2'
     python -m repro simulate --set 1 --sanitize --trace trace.jsonl --store
     python -m repro montecarlo --mixes 1000 --jobs 4 --checkpoint mc.json
+    python -m repro montecarlo --mixes 200 --rank-policies
     python -m repro montecarlo --mixes 200 --backend pool --jobs 4 --timeout 60
     python -m repro chaos --mixes 12 --kill 1 --crash 2 --truncate-checkpoint
     python -m repro report trace.jsonl --check --chrome trace.chrome.json
@@ -107,8 +111,11 @@ from repro.obs import (
 )
 from repro.parallel import ProfileCache
 from repro.partitioning import (
+    analytic_policies,
     bank_aware_partition,
+    policy_help,
     predicted_misses,
+    registered_policies,
     unrestricted_partition,
 )
 from repro.profiling import MissCurve, load_curves, save_curves
@@ -118,7 +125,13 @@ from repro.resilience import (
     ProfilerFault,
     ReproError,
 )
-from repro.sim import SIM_BACKENDS, RunSettings, compare_schemes, run_mix
+from repro.sim import (
+    DETAILED_SCHEMES,
+    SIM_BACKENDS,
+    RunSettings,
+    compare_schemes,
+    run_mix,
+)
 from repro.telemetry import (
     Tracer,
     check_trace,
@@ -456,7 +469,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
     tracer = Tracer(sink=args.trace) if args.trace else None
     if tracer is not None:
         tracer.emit_run_meta("compare", detail=str(mix))
-    comp = compare_schemes(mix, cfg, settings, jobs=args.jobs, tracer=tracer)
+    # relative metrics normalise against No-partitions, so the baseline
+    # always joins an explicit --scheme list (deduplicated, order kept)
+    schemes = (
+        tuple(dict.fromkeys(["no-partitions", *args.schemes]))
+        if args.schemes
+        else DETAILED_SCHEMES
+    )
+    comp = compare_schemes(
+        mix, cfg, settings, schemes, jobs=args.jobs, tracer=tracer
+    )
     if tracer is not None:
         tracer.write_jsonl(args.trace)
         print(f"trace: {args.trace} ({len(tracer.events)} events)")
@@ -482,7 +504,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         workloads=mix.names,
         settings={"duration_cycles": args.duration, "seed": args.seed,
                   "scale": args.scale, "epoch_cycles": args.epoch,
-                  "jobs": args.jobs, "sim_backend": args.sim_backend},
+                  "jobs": args.jobs, "sim_backend": args.sim_backend,
+                  "schemes": list(schemes)},
         headline=headline_from_comparison(comp),
         trace_events=tracer.events if tracer is not None else None,
     )
@@ -612,6 +635,7 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
     cfg = _machine(args)
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint PATH")
+    policies = analytic_policies() if args.rank_policies else None
     # live sink for 'repro watch'; write_jsonl atomically finalises it
     tracer = Tracer(sink=args.trace) if args.trace else None
     supervisor_summary = None
@@ -626,6 +650,7 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             profile_cache=_profile_cache(args),
             tracer=tracer,
+            policies=policies,
         )
     else:
         policy = SupervisorPolicy(
@@ -648,6 +673,7 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
             ),
             cluster_root=args.cluster_root,
             shard_size=args.shard_size,
+            policies=policies,
         )
         result = run.result
         supervisor_summary = run.supervisor_summary()
@@ -671,6 +697,13 @@ def cmd_montecarlo(args: argparse.Namespace) -> int:
         ],
         title=f"Monte Carlo sweep ({args.mixes} random mixes, seed {args.seed})",
     ))
+    ranking = result.policy_ranking()
+    if ranking:
+        print(format_table(
+            ["policy", "mean relative misses vs equal"],
+            [(name, f"{ratio:.4f}") for name, ratio in ranking],
+            title="Policy ranking (best first)",
+        ))
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
     _store_run(
@@ -975,7 +1008,19 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--scheme",
                 default="bank-aware",
-                choices=("no-partitions", "equal-partitions", "bank-aware"),
+                choices=registered_policies(),
+                help=f"partitioning policy ({policy_help()})",
+            )
+        else:
+            p.add_argument(
+                "--scheme",
+                action="append",
+                dest="schemes",
+                choices=registered_policies(),
+                metavar="SCHEME",
+                help="compare these registered policies instead of the "
+                     "paper's three (repeatable; the No-partitions "
+                     f"baseline always runs; known: {policy_help()})",
             )
         p.add_argument("--duration", type=_positive_float, default=4_000_000)
         p.add_argument("--seed", type=_positive_int, default=7)
@@ -1037,6 +1082,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default=DEFAULT_SHARD_SIZE, metavar="N",
                    help="mixes per local-cluster shard "
                         f"(default {DEFAULT_SHARD_SIZE})")
+    p.add_argument("--rank-policies", action="store_true",
+                   help="additionally project every mix through each "
+                        "analytically rankable registry policy "
+                        f"({', '.join(analytic_policies())}) and print "
+                        "their mean miss ratios vs. Equal")
     _add_trace_arg(p)
     _add_store_arg(p)
     _add_jobs_arg(p)

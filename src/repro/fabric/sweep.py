@@ -53,6 +53,7 @@ from repro.parallel.profile_cache import ProfileCache
 from repro.profiling.miss_curve import MissCurve
 from repro.resilience.checkpoint import SweepCheckpoint
 from repro.errors import ConfigError
+from repro.partitioning.registry import analytic_policies, get_policy
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.timing import wall_clock
 from repro.telemetry.tracer import Tracer
@@ -101,6 +102,7 @@ def run_fabric_monte_carlo(
     deadletter: DeadLetterLedger | None = None,
     cluster_root: str | Path | None = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    policies: tuple[str, ...] | None = None,
 ) -> FabricRun:
     """The paper's Monte Carlo comparison under fabric supervision.
 
@@ -109,6 +111,8 @@ def run_fabric_monte_carlo(
     format, so sweeps may be started by one runner and resumed by the
     other.  ``chaos`` injects the given fault plan into the worker function
     (and, via ``abort_after``, simulates killing the driver mid-sweep).
+    ``policies`` ranks extra registry policies per mix, exactly as in the
+    legacy runner (same checkpoint metadata, same per-point payload).
     """
     policy = policy or SupervisorPolicy()
     if checkpoint_path is not None and policy.on_poison != "raise":
@@ -134,6 +138,19 @@ def run_fabric_monte_carlo(
         "min_ways": min_ways,
         "profile_accesses": profile_accesses,
     }
+    if policies:
+        policies = tuple(policies)
+        ranked = set(analytic_policies())
+        for name in policies:
+            get_policy(name)
+            if name not in ranked:
+                raise ConfigError(
+                    f"policy {name!r} cannot be ranked analytically "
+                    f"(rankable: {', '.join(sorted(ranked))})"
+                )
+        meta["policies"] = list(policies)
+    else:
+        policies = None
     ckpt = SweepCheckpoint(
         checkpoint_path, "monte-carlo", meta,
         every=checkpoint_every or cfg.resilience.checkpoint_every,
@@ -151,7 +168,7 @@ def run_fabric_monte_carlo(
         jobs=jobs,
         policy=policy,
         initializer=_montecarlo_init,
-        initargs=(curves, cfg, min_ways),
+        initargs=(curves, cfg, min_ways, policies),
         tracer=tracer,
         metrics=metrics,
         deadletter=deadletter,
@@ -167,6 +184,11 @@ def run_fabric_monte_carlo(
     def note(point: MonteCarloPoint, index: int) -> None:
         if tracer is None:
             return
+        extra = (
+            {"policies": point.policy_misses}
+            if point.policy_misses is not None
+            else {}
+        )
         tracer.emit(
             "mc_point",
             index=index,
@@ -175,6 +197,7 @@ def run_fabric_monte_carlo(
             unrestricted_misses=point.unrestricted_misses,
             bank_aware_misses=point.bank_aware_misses,
             ways=point.bank_aware_ways,
+            **extra,
         )
         done = index + 1
         if done % heartbeat == 0 or done == num_mixes:

@@ -125,13 +125,21 @@ def headline_from_comparison(comparison: "SchemeComparison") -> dict:
 
 def headline_from_montecarlo(result: "MonteCarloResult") -> dict:
     """Headline figures of one
-    :class:`~repro.analysis.montecarlo.MonteCarloResult`."""
-    return {
+    :class:`~repro.analysis.montecarlo.MonteCarloResult`.  Ranked sweeps
+    (``--rank-policies``) additionally archive the per-policy mean miss
+    ratios; plain Fig. 7 manifests keep their historical key set."""
+    headline = {
         "mixes": len(result.points),
         "mean_unrestricted_ratio": result.mean_unrestricted_ratio,
         "mean_bank_aware_ratio": result.mean_bank_aware_ratio,
         "restriction_penalty": result.restriction_penalty(),
     }
+    ranking = result.policy_ranking()
+    if ranking:
+        headline["policy_ranking"] = [
+            [name, ratio] for name, ratio in ranking
+        ]
+    return headline
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,4 +1,5 @@
-"""Cache-partition assignment algorithms and physical allocation."""
+"""Cache-partition assignment algorithms, physical allocation, and the
+policy lab (a registry of pluggable partitioning policies)."""
 
 from repro.partitioning.allocation import (
     assign_center_banks,
@@ -7,6 +8,18 @@ from repro.partitioning.allocation import (
     vector_to_private_map,
 )
 from repro.partitioning.bank_aware import BankAwareDecision, bank_aware_partition
+from repro.partitioning.bank_bw import BankBudgetRegulator
+from repro.partitioning.joint import JointAssignment, best_assignment, schedule_mix
+from repro.partitioning.registry import (
+    PartitionPolicy,
+    PolicyContext,
+    PolicyDecision,
+    analytic_policies,
+    get_policy,
+    policy_help,
+    register,
+    registered_policies,
+)
 from repro.partitioning.static import (
     ALL_SCHEMES,
     SCHEME_BANK_AWARE,
@@ -20,16 +33,28 @@ from repro.partitioning.unrestricted import predicted_misses, unrestricted_parti
 __all__ = [
     "ALL_SCHEMES",
     "BankAwareDecision",
+    "BankBudgetRegulator",
+    "JointAssignment",
+    "PartitionPolicy",
+    "PolicyContext",
+    "PolicyDecision",
     "SCHEME_BANK_AWARE",
     "SCHEME_EQUAL",
     "SCHEME_NO_PARTITION",
     "SCHEME_UNRESTRICTED",
+    "analytic_policies",
     "assign_center_banks",
     "bank_aware_partition",
+    "best_assignment",
     "center_bank_positions",
     "decision_to_partition_map",
     "equal_partition",
+    "get_policy",
+    "policy_help",
     "predicted_misses",
+    "register",
+    "registered_policies",
+    "schedule_mix",
     "unrestricted_partition",
     "vector_to_private_map",
 ]

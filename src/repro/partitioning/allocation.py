@@ -14,6 +14,7 @@ banks ``num_cores..num_banks-1`` are the Center banks.
 from __future__ import annotations
 
 from repro.cache.partition_map import BankAllocation, CorePartition, PartitionMap
+from repro.errors import PartitionInvariantError
 from repro.partitioning.bank_aware import BankAwareDecision
 from repro.util.floorplan import center_bank_positions
 
@@ -36,7 +37,7 @@ def assign_center_banks(
     """
     num_centers = num_banks - num_cores
     if sum(decision.center_banks) != num_centers:
-        raise ValueError("decision does not cover every Center bank")
+        raise PartitionInvariantError("decision does not cover every Center bank")
     positions = center_bank_positions(num_cores, num_centers)
     free = set(range(num_centers))
     chosen: dict[int, list[int]] = {c: [] for c in range(num_cores)}
@@ -67,7 +68,7 @@ def decision_to_partition_map(
     """
     n = num_cores if num_cores is not None else len(decision.ways)
     if len(decision.ways) != n:
-        raise ValueError("decision size disagrees with num_cores")
+        raise PartitionInvariantError("decision size disagrees with num_cores")
     bank_ways = decision.bank_ways
     all_ways = tuple(range(bank_ways))
     centers = assign_center_banks(decision, n, num_banks)
@@ -114,12 +115,14 @@ def vector_to_private_map(
     """
     total = num_banks * bank_ways
     if sum(ways) != total:
-        raise ValueError(f"way vector sums to {sum(ways)}, machine has {total}")
+        raise PartitionInvariantError(
+            f"way vector sums to {sum(ways)}, machine has {total}"
+        )
     pmap = PartitionMap()
     cursor = 0
     for core, count in enumerate(ways):
         if count == 0:
-            raise ValueError("every core needs at least one way")
+            raise PartitionInvariantError("every core needs at least one way")
         allocations: list[BankAllocation] = []
         remaining = count
         while remaining > 0:

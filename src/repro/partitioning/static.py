@@ -12,12 +12,19 @@ from repro.errors import ConfigError
 
 
 def equal_partition(num_cores: int, total_ways: int) -> list[int]:
-    """The fixed even share per core (paper: 16 ways each)."""
+    """The fixed even share per core (paper: 16 ways each).
+
+    When the capacity does not divide evenly the remainder is spread
+    deterministically, one extra way per core from core 0 upward — so the
+    scheme stays usable on non-paper machines (e.g. 6 cores x 128 ways)
+    while the paper configuration still yields exactly ``[16] * 8``.
+    """
     if num_cores < 1:
         raise ConfigError("need at least one core")
-    if total_ways % num_cores:
-        raise ConfigError("total ways must divide evenly among cores")
-    return [total_ways // num_cores] * num_cores
+    if total_ways < num_cores:
+        raise ConfigError("need at least one way per core")
+    base, rem = divmod(total_ways, num_cores)
+    return [base + 1 if core < rem else base for core in range(num_cores)]
 
 
 #: Scheme names used throughout the experiment drivers.

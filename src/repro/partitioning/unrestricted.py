@@ -71,14 +71,22 @@ def unrestricted_partition(
         if best_core < 0:
             raise PartitionInvariantError("no core can accept more ways")  # caps checked above
         if best_mu <= 0.0:
-            # Every curve is flat: spread the leftovers round-robin so the
-            # capacity is still fully assigned (it cannot hurt).
-            for core in sorted(range(n), key=lambda c: alloc[c]):
-                if remaining == 0:
-                    break
-                grant = min(cap - alloc[core], remaining)
-                alloc[core] += grant
-                remaining -= grant
+            # Every curve is flat: spread the leftovers round-robin, one
+            # way at a time across cores with room, so the capacity is
+            # fully assigned without any core hoarding it.
+            while remaining > 0:
+                granted = False
+                for core in range(n):
+                    if remaining == 0:
+                        break
+                    if alloc[core] < cap:
+                        alloc[core] += 1
+                        remaining -= 1
+                        granted = True
+                if not granted:
+                    raise PartitionInvariantError(
+                        "no core can accept more ways"
+                    )  # unreachable: caps checked above
             break
         alloc[best_core] += best_extra
         remaining -= best_extra

@@ -241,6 +241,9 @@ def run_batched(system: "CMPSystem") -> None:  # noqa: C901 - one hot loop
     pend = list(poss)
 
     controller = system.controller
+    # bank-bw regulator: mutated in place (never rebound), charged per
+    # access in the hot loop in the same event order as the reference
+    regulator = system.regulator
     next_epoch = controller.next_epoch if controller is not None else _INF
     sanitizer = system.sanitizer
     tracer = system.tracer
@@ -1120,15 +1123,32 @@ def run_batched(system: "CMPSystem") -> None:  # noqa: C901 - one hot loop
         # -- contention + latency + timer (same ops, same order; the
         # uncontended branches skip only exact no-ops: +0.0 on finite
         # non-negative floats is bitwise identity) ---------------------------
-        nf = pnext_[bank_id]
-        if nf <= t:
-            pnext_[bank_id] = t + bank_busy
-            latency = lat[c][bank_id]
+        if regulator is not None:
+            # bank-bw: mirror of the reference regulator branch — the
+            # throttled arrival joins the queue, and the final
+            # ``lat + delay + throttle`` keeps the reference's left
+            # association (throttle added last)
+            throttle = regulator.charge(c, bank_id, t)
+            ta = t + throttle
+            nf = pnext_[bank_id]
+            if nf <= ta:
+                pnext_[bank_id] = ta + bank_busy
+                latency = lat[c][bank_id] + throttle
+            else:
+                delay = nf - ta
+                pnext_[bank_id] = ta + delay + bank_busy
+                pdelay_[bank_id] += delay
+                latency = lat[c][bank_id] + delay + throttle
         else:
-            delay = nf - t
-            pnext_[bank_id] = t + delay + bank_busy
-            pdelay_[bank_id] += delay
-            latency = lat[c][bank_id] + delay
+            nf = pnext_[bank_id]
+            if nf <= t:
+                pnext_[bank_id] = t + bank_busy
+                latency = lat[c][bank_id]
+            else:
+                delay = nf - t
+                pnext_[bank_id] = t + delay + bank_busy
+                pdelay_[bank_id] += delay
+                latency = lat[c][bank_id] + delay
         if not hit:
             mem_arrival = t + latency
             latency += mem_lat

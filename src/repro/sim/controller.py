@@ -25,14 +25,10 @@ from collections.abc import Sequence
 
 from repro.cache.nuca import NucaL2
 from repro.cache.partition_map import PartitionMap, equal_partition_map
-from repro.partitioning.allocation import (
-    decision_to_partition_map,
-    vector_to_private_map,
-)
-from repro.partitioning.bank_aware import BankAwareDecision, bank_aware_partition
-from repro.partitioning.unrestricted import unrestricted_partition
+from repro.partitioning.bank_aware import BankAwareDecision
+from repro.partitioning.registry import PolicyContext, get_policy
 from repro.profiling.miss_curve import MissCurve
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, PartitionInvariantError, ReproError
 from repro.resilience.faults import FaultInjector
 from repro.resilience.guard import DecisionGuard, DegradedMode
 from repro.resilience.sanitizer import ReproSanitizer
@@ -43,15 +39,18 @@ from repro.telemetry.tracer import Tracer
 class EpochController:
     """Drives dynamic repartitioning from live profiler state.
 
-    ``algorithm='bank-aware'`` is the paper's scheme; ``'unrestricted'``
-    runs the UCP-lookahead baseline instead, materialised as contiguous
-    private way regions (physically unrealistic — it straddles banks in
-    arbitrary fractions — which is exactly what makes it the idealised
-    comparison point).
+    ``algorithm`` names any *dynamic* policy in the registry
+    (:mod:`repro.partitioning.registry`): ``'bank-aware'`` is the paper's
+    scheme, ``'unrestricted'`` the UCP-lookahead baseline materialised as
+    contiguous private way regions (physically unrealistic — which is
+    exactly what makes it the idealised comparison point), ``'bank-bw'``
+    and ``'joint'`` the related-work policies of the policy lab.
 
     ``guard`` enables containment (see module docstring); ``fault_injector``
     corrupts what the controller reads, for resilience testing.  Both are
     optional and default to the historical unguarded behaviour.
+    ``regulator`` is the bank-bandwidth regulator of ``needs_bank_queues``
+    policies, handed to each decision through the policy context.
     """
 
     def __init__(
@@ -69,9 +68,14 @@ class EpochController:
         fault_injector: FaultInjector | None = None,
         sanitizer: ReproSanitizer | None = None,
         tracer: Tracer | None = None,
+        regulator=None,
     ) -> None:
-        if algorithm not in ("bank-aware", "unrestricted"):
-            raise ConfigError("algorithm must be 'bank-aware' or 'unrestricted'")
+        policy = get_policy(algorithm)
+        if not policy.dynamic:
+            raise ConfigError(
+                f"policy {algorithm!r} is static; the epoch controller "
+                "drives dynamic policies only"
+            )
         if epoch_cycles <= 0:
             raise ConfigError("epoch length must be positive")
         if not 0.0 <= decay <= 1.0:
@@ -90,6 +94,8 @@ class EpochController:
         self.decay = decay
         self.min_observations = min_observations
         self.algorithm = algorithm
+        self.policy = policy
+        self.regulator = regulator
         self.guard = guard
         self.fault_injector = fault_injector
         self.sanitizer = sanitizer
@@ -117,36 +123,36 @@ class EpochController:
     def _decide(
         self, now: float, curves: list[MissCurve]
     ) -> tuple[PartitionMap, EpochRecord, BankAwareDecision | None]:
-        """Compute and invariant-check one fresh partitioning decision."""
-        if self.algorithm == "bank-aware":
-            decision = bank_aware_partition(
-                curves,
-                num_banks=self.l2.config.num_banks,
-                bank_ways=self.l2.config.bank_ways,
-                max_ways_per_core=self.max_ways_per_core,
+        """One fresh policy decision, invariant-checked via the guard."""
+        ctx = PolicyContext(
+            num_cores=len(self.profilers),
+            num_banks=self.l2.config.num_banks,
+            bank_ways=self.l2.config.bank_ways,
+            max_ways_per_core=self.max_ways_per_core,
+            now=now,
+            regulator=self.regulator,
+        )
+        verdict = self.policy.decide(curves, ctx)
+        if verdict.pmap is None:
+            raise PartitionInvariantError(
+                f"dynamic policy {self.policy.name!r} returned no "
+                "partition map to install"
             )
-            if self.guard is not None:
+        decision = verdict.bank_decision
+        if self.guard is not None:
+            if decision is not None:
                 self.guard.validate_decision(
                     decision.ways, decision.center_banks, decision.pairs
                 )
-            pmap = decision_to_partition_map(
-                decision, num_banks=self.l2.config.num_banks
-            )
-            record = EpochRecord(
-                now, decision.ways, decision.center_banks, decision.pairs
-            )
-            return pmap, record, decision
-        ways = unrestricted_partition(
-            curves, self.l2.config.num_banks * self.l2.config.bank_ways
+            else:
+                self.guard.validate_vector(verdict.ways)
+        record = EpochRecord(
+            now,
+            verdict.ways,
+            decision.center_banks if decision is not None else None,
+            decision.pairs if decision is not None else None,
         )
-        if self.guard is not None:
-            self.guard.validate_vector(ways)
-        pmap = vector_to_private_map(
-            ways,
-            num_banks=self.l2.config.num_banks,
-            bank_ways=self.l2.config.bank_ways,
-        )
-        return pmap, EpochRecord(now, tuple(ways)), None
+        return verdict.pmap, record, decision
 
     def _apply_degraded(self, mode: DegradedMode) -> None:
         """Realise a non-NORMAL ladder rung on the cache.
@@ -188,18 +194,27 @@ class EpochController:
     ) -> None:
         if self.tracer is None:
             return
+        # center_banks/pairs are optional in the schema: policies without
+        # the Bank-aware structure must *omit* them, not emit None (the
+        # historical emitter sent None and broke any traced vector-only
+        # run at the validation layer)
+        structure = {}
+        if record.center_banks is not None:
+            structure["center_banks"] = record.center_banks
+        if record.pairs is not None:
+            structure["pairs"] = record.pairs
         self.tracer.emit(
             "epoch_decision",
             time=now,
             epoch=epoch,
             algorithm=self.algorithm,
+            policy=self.policy.name,
             ways=record.ways,
-            center_banks=record.center_banks,
-            pairs=record.pairs,
             projected_misses=[
                 curve.misses_at(int(w))
                 for curve, w in zip(curves, record.ways)
             ],
+            **structure,
         )
 
     def _trace_guard_events(self, epoch: int, start: int) -> None:

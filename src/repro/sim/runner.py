@@ -148,7 +148,9 @@ def run_mix(
 
 @dataclass(frozen=True)
 class SchemeComparison:
-    """Per-mix outcome of the paper's three detailed schemes (Figs. 8/9)."""
+    """Per-mix outcome of one scheme set (the paper's three detailed
+    schemes of Figs. 8/9 by default; any registered policies otherwise).
+    The relative metrics need *No-partitions* among the results."""
 
     mix: Mix
     results: dict[str, SystemResult]
@@ -197,7 +199,9 @@ def compare_schemes(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> SchemeComparison:
-    """Run one mix under every detailed scheme (same traces/seed).
+    """Run one mix under every scheme in ``schemes`` (same traces/seed;
+    default: the paper's three detailed schemes — any registered policy
+    name is accepted).
 
     The schemes are independent simulations of identical traces, so
     ``jobs`` runs them concurrently with bit-identical results (default

@@ -32,6 +32,8 @@ from repro.cpu.core import CoreSnapshot, CoreTimer
 from repro.mem.trace import Trace
 from repro.noc.contention import ContentionModel
 from repro.noc.latency import LatencyModel
+from repro.partitioning.bank_bw import WINDOWS_PER_EPOCH, BankBudgetRegulator
+from repro.partitioning.registry import get_policy, registered_policies
 from repro.profiling.msa import MSAProfiler
 from repro.profiling.sampled import SampledMSAProfiler
 from repro.resilience.faults import FaultPlan
@@ -48,10 +50,10 @@ from repro.errors import ConfigError
 #: the paper's detailed-simulation schemes (Figs. 8/9 compare these three).
 DETAILED_SCHEMES = ("no-partitions", "equal-partitions", "bank-aware")
 
-#: all schemes the simulator supports; "unrestricted" runs the dynamic
-#: UCP-lookahead baseline with a physically idealised layout (the paper
-#: evaluates it only analytically — we can also cross-check it in detail).
-ALL_SIM_SCHEMES = DETAILED_SCHEMES + ("unrestricted",)
+#: every scheme the simulator supports — any policy registered in the lab
+#: (:mod:`repro.partitioning.registry`): the paper's four plus the
+#: related-work policies (``bank-bw``, ``joint``).
+ALL_SIM_SCHEMES = registered_policies()
 
 #: execution backends: 'reference' is the object-model discrete-event loop,
 #: 'batched' the struct-of-arrays engine (bit-identical, see repro.sim.batched).
@@ -78,8 +80,7 @@ class CMPSystem:
         backend: str = "reference",
     ) -> None:
         config.validate()
-        if scheme not in ALL_SIM_SCHEMES:
-            raise ConfigError(f"scheme must be one of {ALL_SIM_SCHEMES}")
+        policy = get_policy(scheme)  # single source of scheme identity
         if backend not in SIM_BACKENDS:
             raise ConfigError(f"backend must be one of {SIM_BACKENDS}")
         self.backend = backend
@@ -90,10 +91,11 @@ class CMPSystem:
         self.config = config
         self.specs = list(specs)
         self.scheme = scheme
+        self.policy = policy
         # The shared baseline is the paper's migrating DNUCA; partitioned
         # schemes aggregate their banks with Parallel (or Address-Hash).
         effective_placement = (
-            shared_placement if scheme == "no-partitions" else placement
+            shared_placement if policy.shares_cache else placement
         )
         self.l2 = NucaL2(config.l2, config.num_cores, placement=effective_placement)
         self.latency = LatencyModel.from_config(config.l2, config.num_cores)
@@ -125,7 +127,7 @@ class CMPSystem:
                 f"{config.l2.num_banks} banks",
             )
 
-        if scheme == "no-partitions":
+        if policy.shares_cache:
             self.l2.share_all()
         else:
             self.l2.apply_partition(
@@ -133,7 +135,16 @@ class CMPSystem:
                     config.num_cores, config.l2.num_banks, config.l2.bank_ways
                 )
             )
-        if scheme in ("bank-aware", "unrestricted"):
+        #: per-(core, bank) bandwidth regulator of ``needs_bank_queues``
+        #: policies; charged on every access in both sim backends.
+        self.regulator: BankBudgetRegulator | None = None
+        if policy.needs_bank_queues:
+            self.regulator = BankBudgetRegulator(
+                config.num_cores,
+                config.l2.num_banks,
+                window_cycles=config.epoch_cycles / WINDOWS_PER_EPOCH,
+            )
+        if policy.dynamic:
             if self.profilers is None:
                 raise ConfigError(f"the {scheme} scheme requires profilers")
             res = config.resilience
@@ -155,13 +166,14 @@ class CMPSystem:
                 epoch_cycles=config.epoch_cycles,
                 max_ways_per_core=config.max_ways_per_core,
                 decay=profiler_decay,
-                algorithm=scheme if scheme != "bank-aware" else "bank-aware",
+                algorithm=scheme,
                 guard=guard,
                 fault_injector=(
                     fault_plan.injector() if fault_plan is not None else None
                 ),
                 sanitizer=self.sanitizer,
                 tracer=self.tracer,
+                regulator=self.regulator,
             )
 
         # columnar trace state for the event loop: numpy views shared with
@@ -290,8 +302,17 @@ class CMPSystem:
         if self.profilers is not None:
             self.profilers[core].observe(line)
         result = self.l2.access(core, line, is_write=is_write)
-        queue_delay = self.contention.bank_delay(result.bank, arrival)
-        latency = self._lat[core][result.bank] + queue_delay
+        if self.regulator is not None:
+            # bank-bw: an over-budget access waits for its next window to
+            # open before it may even join the bank queue.
+            throttle = self.regulator.charge(core, result.bank, arrival)
+            queue_delay = self.contention.bank_delay(
+                result.bank, arrival + throttle
+            )
+            latency = self._lat[core][result.bank] + queue_delay + throttle
+        else:
+            queue_delay = self.contention.bank_delay(result.bank, arrival)
+            latency = self._lat[core][result.bank] + queue_delay
         if not result.hit:
             mem_arrival = arrival + latency
             latency += self.config.memory.latency_cycles

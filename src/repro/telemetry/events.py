@@ -73,6 +73,9 @@ EVENT_SCHEMAS: dict[str, dict[str, FieldSpec]] = {
         "time": _NUM,
         "epoch": _INT,
         "algorithm": _STR,
+        #: registry name of the deciding policy (added with the policy
+        #: lab; equals ``algorithm`` for registry-dispatched runs).
+        "policy": _OPT_STR,
         "ways": _LIST,
         "center_banks": _OPT_LIST,
         "pairs": _OPT_LIST,
@@ -106,7 +109,9 @@ EVENT_SCHEMAS: dict[str, dict[str, FieldSpec]] = {
         "migrations": _INT,
         "writebacks": _INT,
     },
-    # one Monte Carlo mix outcome (analytic sweep).
+    # one Monte Carlo mix outcome (analytic sweep).  ``policies`` holds
+    # the per-policy projected misses when the sweep ranks registry
+    # policies (``--rank-policies``); absent otherwise.
     "mc_point": {
         "index": _INT,
         "mix": _LIST,
@@ -114,6 +119,7 @@ EVENT_SCHEMAS: dict[str, dict[str, FieldSpec]] = {
         "unrestricted_misses": _NUM,
         "bank_aware_misses": _NUM,
         "ways": _LIST,
+        "policies": FieldSpec((dict,), required=False),
     },
     # one sweep work item's observed completion latency (wall clock).
     "sweep_item": {

@@ -38,9 +38,17 @@ class TestEqual:
     def test_even_share(self):
         assert equal_partition(8, 128) == [16] * 8
 
-    def test_rejects_uneven(self):
+    def test_uneven_remainder_goes_to_lowest_cores(self):
+        assert equal_partition(3, 128) == [43, 43, 42]
+        assert equal_partition(5, 17) == [4, 4, 3, 3, 3]
+
+    def test_rejects_fewer_ways_than_cores(self):
         with pytest.raises(ValueError):
-            equal_partition(3, 128)
+            equal_partition(3, 2)
+
+    def test_rejects_no_cores(self):
+        with pytest.raises(ValueError):
+            equal_partition(0, 128)
 
 
 class TestUnrestricted:
@@ -78,6 +86,17 @@ class TestUnrestricted:
     def test_all_flat_distributes_everything(self):
         alloc = unrestricted_partition([flat_curve()] * 8, 128)
         assert sum(alloc) == 128
+
+    def test_flat_leftover_spreads_round_robin(self):
+        """Zero-utility leftovers spread one way at a time (round-robin),
+        not greedily into the first unfilled core."""
+        assert unrestricted_partition([flat_curve()] * 8, 128) == [16] * 8
+        three = [flat_curve(max_ways=16)] * 3
+        assert unrestricted_partition(
+            three, 10, max_ways_per_core=4
+        ) == [4, 3, 3]
+        four = [flat_curve(max_ways=16)] * 4
+        assert unrestricted_partition(four, 10) == [3, 3, 2, 2]
 
     def test_min_ways_respected(self):
         curves = [knee_curve(100, total=10_000)] + [flat_curve()] * 7
