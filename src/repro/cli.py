@@ -15,10 +15,15 @@ Gives downstream users the paper's pipeline without writing Python:
   resume must equal a clean serial run (``repro diff`` gate).
 * ``bench``      — perf-tracking benchmark suite (writes BENCH_sweep.json),
   regression-gated against a stored baseline with ``--baseline/--gate-pct``.
-* ``report``     — digest a telemetry trace (JSONL from ``--trace``).
-* ``runs``       — query the run store populated by ``--store`` runs.
+* ``report``     — digest a telemetry trace (JSONL from ``--trace``);
+  ``--spans`` prints the span profiler's self-time attribution.
+* ``stats``      — aggregate the per-epoch time series of a stored run
+  or trace (min/max/mean/p50/p95 per column; text, JSON or CSV).
+* ``runs``       — query the run store populated by ``--store`` runs
+  (``list``/``show`` with ``--json``, ``query`` with provenance filters).
 * ``diff``       — first-divergence comparison of two traces/stored runs.
-* ``watch``      — live-monitor a growing trace (progress, ETA, guards).
+* ``watch``      — live-monitor a growing trace (progress, ETA, guards;
+  ``--metrics`` adds the latest epoch's time-series row).
 * ``suite``      — list the 26 SPEC-like workload models.
 * ``machine``    — print the (scaled) Table I machine description.
 * ``lint``       — run the repository's domain-aware static analysis.
@@ -35,11 +40,16 @@ Examples::
     python -m repro montecarlo --mixes 200 --rank-policies
     python -m repro montecarlo --mixes 200 --backend pool --jobs 4 --timeout 60
     python -m repro chaos --mixes 12 --kill 1 --crash 2 --truncate-checkpoint
+    python -m repro simulate --set 1 --trace trace.jsonl --spans
     python -m repro report trace.jsonl --check --chrome trace.chrome.json
+    python -m repro report trace.jsonl --spans
+    python -m repro stats trace.jsonl --select core_miss_rate --format csv
     python -m repro runs list
+    python -m repro runs query --scheme bank-aware --since 2026-08
     python -m repro diff serial.jsonl parallel.jsonl
-    python -m repro watch trace.jsonl --interval 2
+    python -m repro watch trace.jsonl --interval 2 --metrics
     python -m repro bench --quick --baseline BENCH_sweep.json --gate-pct 10
+    python -m repro bench --attribute BENCH_old.json BENCH_sweep.json
     python -m repro lint src benchmarks examples --format json
 """
 
@@ -98,15 +108,25 @@ from repro.obs import (
     DEFAULT_STORE,
     RunStore,
     append_history,
+    attribute_delta,
     diff_traces,
     gate_report,
     headline_from_comparison,
     headline_from_montecarlo,
     headline_from_result,
     load_report,
+    query_runs,
+    render_attribution_text,
     render_diff_json,
     render_diff_text,
     render_gate_text,
+    render_runs_query_text,
+    render_stats_csv,
+    render_stats_json,
+    render_stats_text,
+    resolve_series,
+    runs_query_rows,
+    series_stats,
     watch_trace,
 )
 from repro.parallel import ProfileCache
@@ -136,6 +156,7 @@ from repro.telemetry import (
     Tracer,
     check_trace,
     read_jsonl,
+    render_spans_text,
     write_chrome_trace,
     write_jsonl,
 )
@@ -221,6 +242,24 @@ def _add_trace_arg(p: argparse.ArgumentParser) -> None:
              "actions, bank snapshots) to this JSONL file; inspect it "
              "with 'repro report PATH'",
     )
+
+
+def _add_spans_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--spans", action="store_true",
+        help="profile the run with hierarchical wall-clock spans (epoch "
+             "phases: profiler observe/flush, policy decide, guard, "
+             "install, queue drain); requires --trace, inspect with "
+             "'repro report PATH --spans'",
+    )
+
+
+def _spans_flag(args: argparse.Namespace) -> bool:
+    spans = bool(getattr(args, "spans", False))
+    if spans and not args.trace:
+        raise SystemExit("--spans requires --trace PATH (spans flush "
+                         "into the event stream)")
+    return spans
 
 
 def _add_store_arg(p: argparse.ArgumentParser) -> None:
@@ -422,6 +461,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                            fault_plan=_fault_plan(args),
                            sanitize=args.sanitize,
                            trace=bool(args.trace),
+                           spans=_spans_flag(args),
                            sim_backend=args.sim_backend)
     result = run_mix(mix, args.scheme, cfg, settings)
     if args.trace:
@@ -435,7 +475,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         settings={"scheme": args.scheme, "duration_cycles": args.duration,
                   "seed": args.seed, "scale": args.scale,
                   "epoch_cycles": args.epoch,
-                  "sim_backend": args.sim_backend},
+                  "sim_backend": args.sim_backend,
+                  "spans": bool(args.spans)},
         headline=headline_from_result(result),
         trace_events=result.events if args.trace else None,
     )
@@ -463,6 +504,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                            fault_plan=_fault_plan(args),
                            sanitize=args.sanitize,
                            trace=bool(args.trace),
+                           spans=_spans_flag(args),
                            sim_backend=args.sim_backend)
     # the sink feeds 'repro watch' while the run grows; write_jsonl then
     # atomically replaces it with the complete durable stream
@@ -505,7 +547,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         settings={"duration_cycles": args.duration, "seed": args.seed,
                   "scale": args.scale, "epoch_cycles": args.epoch,
                   "jobs": args.jobs, "sim_backend": args.sim_backend,
-                  "schemes": list(schemes)},
+                  "schemes": list(schemes), "spans": bool(args.spans)},
         headline=headline_from_comparison(comp),
         trace_events=tracer.events if tracer is not None else None,
     )
@@ -515,6 +557,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.parallel.bench import run_bench_suite
 
+    if args.attribute:
+        old, new = (load_report(path) for path in args.attribute)
+        print(render_attribution_text(attribute_delta(old, new)))
+        return 0
     payload = run_bench_suite(
         quick=args.quick, jobs=args.jobs, output=args.output
     )
@@ -554,10 +600,26 @@ def cmd_report(args: argparse.Namespace) -> int:
         write_chrome_trace(args.chrome, events)
         print(f"chrome trace: {args.chrome} (open in ui.perfetto.dev)")
     if not args.check:
-        if args.format == "json":
+        if args.spans:
+            print(render_spans_text(events))
+        elif args.format == "json":
             print(render_trace_json(events))
         else:
             print(render_trace_text(events))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    payload = resolve_series(args.source, RunStore(args.store))
+    rows = series_stats(payload, select=args.select)
+    if args.format == "json":
+        print(render_stats_json(rows))
+    elif args.format == "csv":
+        print(render_stats_csv(rows))
+    else:
+        print(render_stats_text(
+            rows, title=f"Per-epoch series stats: {args.source}"
+        ))
     return 0
 
 
@@ -907,8 +969,29 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 def cmd_runs(args: argparse.Namespace) -> int:
     store = RunStore(args.store)
+    if args.action == "query":
+        records = query_runs(
+            store.list(),
+            source=args.source,
+            scheme=args.scheme,
+            workload=args.workload,
+            fingerprint=args.fingerprint,
+            since=args.since,
+            until=args.until,
+        )
+        rows = runs_query_rows(records)
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        else:
+            print(render_runs_query_text(rows))
+        return 0
     if args.action == "list":
         records = store.list()
+        if args.json:
+            print(json.dumps(
+                runs_query_rows(records), indent=2, sort_keys=True
+            ))
+            return 0
         if not records:
             print(f"no runs stored under {store.root}")
             return 0
@@ -960,6 +1043,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
         interval=args.interval,
         once=args.once,
         timeout=args.timeout,
+        metrics=args.metrics,
     )
 
 
@@ -1035,6 +1119,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_fault_args(p)
         _add_sanitize_arg(p)
         _add_trace_arg(p)
+        _add_spans_arg(p)
         _add_store_arg(p)
         _add_machine_args(p)
         if name == "compare":
@@ -1153,7 +1238,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "any violation)")
     p.add_argument("--chrome", metavar="PATH",
                    help="also export a Chrome/Perfetto trace JSON")
+    p.add_argument("--spans", action="store_true",
+                   help="print the span profiler's self-time attribution "
+                        "table instead of the epoch digest (record spans "
+                        "with 'simulate/compare --trace --spans')")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "stats",
+        help="aggregate the per-epoch time series of a run or trace",
+    )
+    p.add_argument("source", metavar="RUN|TRACE",
+                   help="stored run id, timeseries.json.gz sidecar, or "
+                        "JSONL trace file")
+    p.add_argument("--select", metavar="PATTERN",
+                   help="only columns matching PATTERN (substring, or a "
+                        "glob like 'core_miss_rate.*')")
+    p.add_argument("--format", choices=("text", "json", "csv"),
+                   default="text")
+    p.add_argument("--store", default=DEFAULT_STORE, metavar="DIR",
+                   help="run store used to resolve run ids "
+                        f"(default: {DEFAULT_STORE})")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser(
         "bench",
@@ -1177,6 +1283,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "is appended to (default: BENCH_history.jsonl)")
     p.add_argument("--no-history", dest="history", action="store_const",
                    const=None, help="skip the perf-ledger append")
+    p.add_argument("--attribute", nargs=2, metavar=("OLD", "NEW"),
+                   help="skip the suite; attribute the throughput delta "
+                        "between two stored bench reports to the span "
+                        "phase whose self time shifted the most")
     _add_jobs_arg(p)
     p.set_defaults(fn=cmd_bench)
 
@@ -1184,12 +1294,31 @@ def build_parser() -> argparse.ArgumentParser:
         "runs",
         help="query the run store populated by --store runs",
     )
-    p.add_argument("action", choices=("list", "show"),
-                   help="'list' every archived run, or 'show' one manifest")
+    p.add_argument("action", choices=("list", "show", "query"),
+                   help="'list' every archived run, 'show' one manifest, "
+                        "or 'query' with provenance filters")
     p.add_argument("run_id", nargs="?",
                    help="run id to show (from 'repro runs list')")
     p.add_argument("--store", default=DEFAULT_STORE, metavar="DIR",
                    help=f"run store root (default: {DEFAULT_STORE})")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (list/query)")
+    p.add_argument("--source", metavar="CMD",
+                   help="query filter: archiving command "
+                        "(simulate/compare/montecarlo/chaos)")
+    p.add_argument("--scheme", metavar="NAME",
+                   help="query filter: comparison headline carries this "
+                        "scheme")
+    p.add_argument("--workload", metavar="NAME",
+                   help="query filter: any archived workload name "
+                        "contains NAME")
+    p.add_argument("--fingerprint", metavar="HEX",
+                   help="query filter: config fingerprint prefix")
+    p.add_argument("--since", metavar="ISO",
+                   help="query filter: created >= this ISO-8601 prefix "
+                        "(e.g. 2026-08)")
+    p.add_argument("--until", metavar="ISO",
+                   help="query filter: created <= this ISO-8601 prefix")
     p.set_defaults(fn=cmd_runs)
 
     p = sub.add_parser(
@@ -1224,6 +1353,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=_positive_float, default=None,
                    metavar="S",
                    help="give up (exit 1) after S seconds without completion")
+    p.add_argument("--metrics", action="store_true",
+                   help="also show the latest epoch's time-series row per "
+                        "scheme (miss rates, partition, bank pressure)")
     p.set_defaults(fn=cmd_watch)
 
     p = sub.add_parser(

@@ -49,7 +49,8 @@ from typing import Any
 from repro.fabric.deadletter import DeadLetterLedger
 from repro.parallel.executor import WINDOW_PER_JOB, resolve_jobs
 from repro.errors import ConfigError, PoisonItemError
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.spans import SpanRecorder, maybe_span
 from repro.telemetry.timing import wall_clock
 from repro.telemetry.tracer import Tracer
 from repro.util.rng import rng_stream
@@ -158,6 +159,7 @@ class Supervisor:
         initargs: tuple[Any, ...] = (),
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        spans: SpanRecorder | None = None,
         deadletter: DeadLetterLedger | None = None,
         sweep: str = "",
     ) -> None:
@@ -167,12 +169,16 @@ class Supervisor:
         self._initargs = initargs
         self.tracer = tracer
         self.metrics = metrics
+        self.spans = spans
         self.deadletter = deadletter
         self.sweep = sweep
         #: every supervision action taken, in order (manifest material).
         self.events: list[dict] = []
         self.quarantined_indices: list[int] = []
         self.total_attempts = 0
+        #: per-rung item completion latencies (wall seconds, start to
+        #: result) — merged into one envelope by :meth:`summary`.
+        self._item_wall: dict[str, Histogram] = {}
         self._rung = 0 if self.jobs > 1 else len(RUNGS) - 1
         self._pool: ProcessPoolExecutor | None = None
         self._serial_initialized = False
@@ -199,16 +205,36 @@ class Supervisor:
             rung=self.rung, detail=detail,
         )
 
+    def _observe_item_wall(self, wall_s: float) -> None:
+        hist = self._item_wall.get(self.rung)
+        if hist is None:
+            hist = self._item_wall[self.rung] = Histogram(
+                f"item_wall.{self.rung}"
+            )
+        hist.observe(wall_s)
+
     def summary(self) -> dict:
-        """Manifest-ready digest: action counts, final rung, casualties."""
+        """Manifest-ready digest: action counts, final rung, casualties,
+        and the item-latency envelope (per-rung histograms folded into one
+        with :meth:`~repro.telemetry.metrics.Histogram.merge`)."""
         counts: dict[str, int] = {}
         for event in self.events:
             counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+        merged = Histogram("item_wall")
+        for rung in RUNGS:
+            hist = self._item_wall.get(rung)
+            if hist is not None:
+                merged.merge(hist)
         return {
             "actions": counts,
             "rung": self.rung,
             "total_attempts": self.total_attempts,
             "quarantined": sorted(self.quarantined_indices),
+            "item_wall": merged.summary(),
+            "item_wall_by_rung": {
+                rung: hist.summary()
+                for rung, hist in sorted(self._item_wall.items())
+            },
         }
 
     # -- pool lifecycle ------------------------------------------------------
@@ -351,7 +377,10 @@ class Supervisor:
             attempts[index] += 1
             self.total_attempts += 1
             try:
-                ready[index] = fn(work[index])
+                t0 = wall_clock()
+                with maybe_span(self.spans, "supervisor.item"):
+                    ready[index] = fn(work[index])
+                self._observe_item_wall(wall_clock() - t0)
                 return
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
@@ -411,15 +440,17 @@ class Supervisor:
             timeout = max(
                 0.0, oldest + self.policy.timeout_s - wall_clock()
             ) + 0.02
-        wait(
-            [f for f, _t0 in pending.values()],
-            timeout=timeout, return_when=FIRST_COMPLETED,
-        )
+        with maybe_span(self.spans, "supervisor.wait"):
+            wait(
+                [f for f, _t0 in pending.values()],
+                timeout=timeout, return_when=FIRST_COMPLETED,
+            )
         for index in [i for i, (f, _t0) in pending.items() if f.done()]:
-            future, _t0 = pending.pop(index)
+            future, t0 = pending.pop(index)
             label = self._label(labels, index)
             try:
                 ready[index] = future.result()
+                self._observe_item_wall(wall_clock() - t0)
             except BrokenProcessPool as exc:
                 # a worker died hard (kill -9 / os._exit): the whole pool
                 # is unusable and *every* in-flight item is collateral

@@ -13,13 +13,33 @@ snapshots), this package *consumes* across runs:
   with throughput/ETA from progress heartbeats (``repro watch``);
 * :mod:`repro.obs.gate`  — bench regression gating against a committed
   baseline plus the append-only ``BENCH_history.jsonl`` perf ledger
-  (``repro bench --baseline --gate-pct``).
+  (``repro bench --baseline --gate-pct``);
+* :mod:`repro.obs.series` — the per-epoch columnar time-series sidecar
+  archived next to each stored trace (``timeseries.json.gz``),
+  deterministic down to the byte;
+* :mod:`repro.obs.analytics` — cross-run analytics: ``repro stats``
+  column aggregates, ``repro runs query`` filters, and the span-profile
+  throughput attribution behind ``repro bench --attribute``.
 
 Everything here is read-side tooling: importing or using it never touches
 a simulation's hot path, so the zero-overhead-when-off contract of the
 telemetry layer is untouched.
 """
 
+from repro.obs.analytics import (
+    STAT_QUANTILES,
+    attribute_delta,
+    exact_quantile,
+    query_runs,
+    render_attribution_text,
+    render_runs_query_text,
+    render_stats_csv,
+    render_stats_json,
+    render_stats_text,
+    resolve_series,
+    runs_query_rows,
+    series_stats,
+)
 from repro.obs.diff import (
     DiffReport,
     Divergence,
@@ -38,6 +58,16 @@ from repro.obs.gate import (
     gate_report,
     load_report,
     render_gate_text,
+)
+from repro.obs.series import (
+    SERIES_FORMAT,
+    SERIES_NAME,
+    SERIES_VERSION,
+    build_series,
+    load_series,
+    series_to_bytes,
+    validate_series,
+    write_series,
 )
 from repro.obs.store import (
     DEFAULT_STORE,
@@ -63,20 +93,40 @@ __all__ = [
     "ObsError",
     "RunRecord",
     "RunStore",
+    "SERIES_FORMAT",
+    "SERIES_NAME",
+    "SERIES_VERSION",
+    "STAT_QUANTILES",
     "TailChunk",
     "TailReader",
     "WatchView",
     "append_history",
+    "attribute_delta",
+    "build_series",
     "config_fingerprint",
     "diff_traces",
+    "exact_quantile",
     "gate_report",
     "git_rev",
     "headline_from_comparison",
     "headline_from_montecarlo",
     "headline_from_result",
     "load_report",
+    "load_series",
+    "query_runs",
+    "render_attribution_text",
     "render_diff_json",
     "render_diff_text",
     "render_gate_text",
+    "render_runs_query_text",
+    "render_stats_csv",
+    "render_stats_json",
+    "render_stats_text",
+    "resolve_series",
+    "runs_query_rows",
+    "series_stats",
+    "series_to_bytes",
+    "validate_series",
     "watch_trace",
+    "write_series",
 ]

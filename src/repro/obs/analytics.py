@@ -1,0 +1,357 @@
+"""Cross-run analytics: query time series and the run store.
+
+Three read-side tools over artifacts the rest of the stack already
+produces:
+
+* :func:`series_stats` + renderers — ``repro stats <run|trace>``:
+  aggregate/quantile any column of a per-epoch time series
+  (:mod:`repro.obs.series`), as text, JSON or CSV;
+* :func:`query_runs` + renderers — ``repro runs query``: filter stored
+  runs by source/scheme/workload/config-fingerprint/date and tabulate
+  their headline metrics;
+* :func:`attribute_delta` — ``repro bench --attribute OLD NEW``: use the
+  span self-time profile recorded by the bench suite to attribute a
+  throughput delta between two reports to the phase that moved.
+
+Everything here is deterministic given its inputs: quantiles are exact
+nearest-rank over the stored values (no histogram estimation), rows sort
+on stable keys, and JSON output is ``sort_keys`` canonical — which is
+what lets golden tests assert the rendered output verbatim.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+from repro.obs.errors import ObsError
+from repro.obs.series import build_series, load_series
+from repro.obs.store import RunRecord, RunStore
+
+#: the quantiles ``repro stats`` reports per column.
+STAT_QUANTILES = (0.5, 0.95)
+
+
+def resolve_series(spec: str, store: RunStore) -> dict:
+    """A series payload from a run id, a sidecar path, or a trace path.
+
+    A stored run uses its archived sidecar when present (falling back to
+    building from its trace); a filesystem path is loaded as a sidecar
+    when it ends in ``.gz``, otherwise parsed as a JSONL trace and built
+    on the fly.
+    """
+    candidate = Path(spec)
+    if candidate.is_file():
+        if candidate.name.endswith(".gz"):
+            return load_series(candidate)
+        from repro.telemetry.tracer import read_jsonl
+
+        return build_series(read_jsonl(candidate))
+    record = store.get(spec)
+    series = record.series_path
+    if series is not None and series.is_file():
+        return load_series(series)
+    trace = record.trace_path
+    if trace is None or not trace.is_file():
+        raise ObsError(
+            f"run {spec!r} has neither a time-series sidecar nor a trace"
+        )
+    from repro.telemetry.tracer import read_jsonl
+
+    return build_series(read_jsonl(trace))
+
+
+def exact_quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank ``q``-quantile of ``values`` (0 < q <= 1), exact."""
+    if not 0.0 < q <= 1.0:
+        raise ObsError(f"quantile must be in (0, 1], got {q}")
+    if not values:
+        raise ObsError("quantile of an empty series")
+    ordered = sorted(values)
+    return ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+
+
+def _numeric(values: Iterable[object]) -> list[float]:
+    """The numeric, non-null cells of one column (bool is not numeric)."""
+    return [
+        float(v) for v in values
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    ]
+
+
+def series_stats(payload: Mapping, select: str | None = None) -> list[dict]:
+    """Aggregate rows — one per (scheme, numeric column) — of a series.
+
+    ``select`` filters column names: a substring match, or a glob when it
+    contains wildcard characters (``ways.*``).  Columns with no numeric
+    cells (e.g. ``policy``) are skipped.  Rows sort by (scheme, column).
+    """
+    rows = []
+    for scheme in sorted(payload.get("schemes", {})):
+        table = payload["schemes"][scheme]
+        for name in sorted(table["columns"]):
+            if select:
+                if any(ch in select for ch in "*?["):
+                    if not fnmatchcase(name, select):
+                        continue
+                elif select not in name:
+                    continue
+            values = _numeric(table["columns"][name])
+            if not values:
+                continue
+            row = {
+                "scheme": scheme,
+                "column": name,
+                "count": len(values),
+                "min": min(values),
+                "max": max(values),
+                "mean": sum(values) / len(values),
+                "last": values[-1],
+            }
+            for q in STAT_QUANTILES:
+                row[f"p{int(q * 100)}"] = exact_quantile(values, q)
+            rows.append(row)
+    return rows
+
+
+_STAT_FIELDS = ("scheme", "column", "count", "min", "max", "mean",
+                "p50", "p95", "last")
+
+
+def render_stats_text(rows: Sequence[Mapping], *, title: str = "") -> str:
+    if not rows:
+        return "no numeric series matched"
+    from repro.analysis.report import format_table
+
+    return format_table(
+        list(_STAT_FIELDS),
+        [[row[f] for f in _STAT_FIELDS] for row in rows],
+        title=title or None,
+        float_format="{:.6g}",
+    )
+
+
+def render_stats_json(rows: Sequence[Mapping]) -> str:
+    return json.dumps(list(rows), indent=2, sort_keys=True)
+
+
+def render_stats_csv(rows: Sequence[Mapping]) -> str:
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(_STAT_FIELDS),
+                            lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({f: row[f] for f in _STAT_FIELDS})
+    return buf.getvalue().rstrip("\n")
+
+
+# -- run-store queries -------------------------------------------------------
+
+
+def _headline_schemes(manifest: Mapping) -> list[str]:
+    headline = manifest.get("headline") or {}
+    schemes = headline.get("schemes")
+    return sorted(schemes) if isinstance(schemes, Mapping) else []
+
+
+def query_runs(
+    records: Iterable[RunRecord],
+    *,
+    source: str | None = None,
+    scheme: str | None = None,
+    workload: str | None = None,
+    fingerprint: str | None = None,
+    since: str | None = None,
+    until: str | None = None,
+) -> list[RunRecord]:
+    """Filter archived runs on manifest provenance.
+
+    ``scheme`` matches comparison headlines carrying that scheme;
+    ``workload`` any archived workload name (substring); ``fingerprint``
+    a config-fingerprint prefix; ``since``/``until`` compare against the
+    manifest's ISO-8601 ``created`` stamp lexicographically, so any
+    prefix (``2026-08``) works.
+    """
+    out = []
+    for record in records:
+        manifest = record.manifest
+        if source is not None and manifest.get("source") != source:
+            continue
+        if scheme is not None and scheme not in _headline_schemes(manifest):
+            continue
+        if workload is not None and not any(
+            workload in name for name in (manifest.get("workloads") or [])
+        ):
+            continue
+        if fingerprint is not None and not str(
+            manifest.get("config_fingerprint", "")
+        ).startswith(fingerprint):
+            continue
+        created = str(manifest.get("created", ""))
+        if since is not None and created < since:
+            continue
+        if until is not None and created[:len(until)] > until:
+            continue
+        out.append(record)
+    return out
+
+
+def _headline_cell(manifest: Mapping) -> str:
+    """One compact headline string per run, shape-aware."""
+    headline = manifest.get("headline") or {}
+    if "schemes" in headline:
+        cells = []
+        for scheme in sorted(headline["schemes"]):
+            entry = headline["schemes"][scheme]
+            rel = entry.get("relative_miss_rate")
+            cells.append(
+                f"{scheme}={rel:.3f}" if isinstance(rel, (int, float))
+                else scheme
+            )
+        return " ".join(cells)
+    if "miss_rate" in headline:
+        return f"miss_rate={headline['miss_rate']:.4f}"
+    if "mean_bank_aware_ratio" in headline:
+        return (
+            f"bank_aware={headline['mean_bank_aware_ratio']:.3f} "
+            f"over {headline.get('mixes', '?')} mixes"
+        )
+    return "-"
+
+
+def runs_query_rows(records: Iterable[RunRecord]) -> list[dict]:
+    """Tabulated headline rows of a query result (JSON-ready)."""
+    rows = []
+    for record in records:
+        manifest = record.manifest
+        rows.append({
+            "run_id": record.run_id,
+            "created": manifest.get("created", "?"),
+            "source": manifest.get("source", "?"),
+            "fingerprint": str(
+                manifest.get("config_fingerprint", "")
+            )[:8],
+            "workloads": ",".join(manifest.get("workloads") or []) or "-",
+            "trace_events": manifest.get("trace_events"),
+            "timeseries_epochs": manifest.get("timeseries_epochs"),
+            "headline": _headline_cell(manifest),
+        })
+    return rows
+
+
+def render_runs_query_text(rows: Sequence[Mapping]) -> str:
+    if not rows:
+        return "no stored runs matched"
+    from repro.analysis.report import format_table
+
+    headers = ("run_id", "created", "source", "config", "epochs",
+               "headline")
+    return format_table(
+        list(headers),
+        [
+            [row["run_id"], row["created"], row["source"],
+             row["fingerprint"],
+             row["timeseries_epochs"]
+             if row["timeseries_epochs"] is not None else "-",
+             row["headline"]]
+            for row in rows
+        ],
+        title=f"Stored runs ({len(rows)} matched)",
+    )
+
+
+# -- bench span attribution --------------------------------------------------
+
+
+def _span_profile(report: Mapping) -> tuple[float, dict[str, float]]:
+    """(throughput, per-phase self seconds) of one bench report."""
+    for bench in report.get("benchmarks", []):
+        meta = bench.get("meta") or {}
+        if "span_self_s" in meta:
+            return float(bench["throughput"]), dict(meta["span_self_s"])
+    raise ObsError(
+        "bench report carries no span profile — re-run 'repro bench' "
+        "(the detailed_epoch_spans entry records span_self_s)"
+    )
+
+
+def attribute_delta(old: Mapping, new: Mapping) -> dict:
+    """Attribute a throughput delta between two bench reports to the
+    span phase whose self time moved the most.
+
+    Phases are compared on *per-epoch-normalised* self seconds (each
+    profile is scaled by its own total so differing run lengths cancel);
+    the mover is the phase with the largest absolute share shift.
+    """
+    old_tp, old_self = _span_profile(old)
+    new_tp, new_self = _span_profile(new)
+    old_total = sum(old_self.values()) or 1.0
+    new_total = sum(new_self.values()) or 1.0
+    phases = []
+    for path in sorted(set(old_self) | set(new_self)):
+        old_share = old_self.get(path, 0.0) / old_total
+        new_share = new_self.get(path, 0.0) / new_total
+        phases.append({
+            "path": path,
+            "old_self_s": old_self.get(path, 0.0),
+            "new_self_s": new_self.get(path, 0.0),
+            "old_share": old_share,
+            "new_share": new_share,
+            "share_shift": new_share - old_share,
+        })
+    phases.sort(key=lambda p: (-abs(p["share_shift"]), p["path"]))
+    return {
+        "old_throughput": old_tp,
+        "new_throughput": new_tp,
+        "delta_pct": (new_tp - old_tp) / old_tp * 100.0 if old_tp else 0.0,
+        "phases": phases,
+        "mover": phases[0]["path"] if phases else None,
+    }
+
+
+def render_attribution_text(result: Mapping) -> str:
+    from repro.analysis.report import format_table
+
+    lines = [
+        f"throughput {result['old_throughput']:.4g} -> "
+        f"{result['new_throughput']:.4g} "
+        f"({result['delta_pct']:+.1f}%)",
+    ]
+    if result["mover"] is not None:
+        lines.append(
+            f"largest phase shift: {result['mover']} "
+            f"({result['phases'][0]['share_shift']:+.1%} of self time)"
+        )
+    lines.append(format_table(
+        ["phase", "old self s", "new self s", "old share", "new share",
+         "shift"],
+        [
+            [p["path"], f"{p['old_self_s']:.4f}", f"{p['new_self_s']:.4f}",
+             f"{p['old_share']:.1%}", f"{p['new_share']:.1%}",
+             f"{p['share_shift']:+.1%}"]
+            for p in result["phases"]
+        ],
+        title="Span self-time attribution",
+    ))
+    return "\n".join(lines)
+
+
+__all__ = (
+    "STAT_QUANTILES",
+    "attribute_delta",
+    "exact_quantile",
+    "query_runs",
+    "render_attribution_text",
+    "render_runs_query_text",
+    "render_stats_csv",
+    "render_stats_json",
+    "render_stats_text",
+    "resolve_series",
+    "runs_query_rows",
+    "series_stats",
+)

@@ -34,8 +34,9 @@ from typing import TYPE_CHECKING
 
 from repro.config import SystemConfig
 from repro.obs.errors import ObsError
+from repro.obs.series import SERIES_NAME, build_series, write_series
 from repro.telemetry.events import SCHEMA_VERSION
-from repro.telemetry.tracer import write_jsonl
+from repro.telemetry.tracer import read_jsonl, write_jsonl
 from repro.util.atomic_write import atomic_write_bytes, atomic_write_text
 
 if TYPE_CHECKING:  # annotation-only; keeps repro.obs a leaf package
@@ -156,6 +157,12 @@ class RunRecord:
         name = self.manifest.get("trace")
         return self.path / name if name else None
 
+    @property
+    def series_path(self) -> Path | None:
+        """Absolute path of the time-series sidecar, or ``None``."""
+        name = self.manifest.get("timeseries")
+        return self.path / name if name else None
+
 
 class RunStore:
     """Directory of archived runs (one subdirectory per run)."""
@@ -209,6 +216,19 @@ class RunStore:
             trace_count = sum(
                 1 for line in data.splitlines() if line.strip()
             )
+            trace_events = read_jsonl(run_dir / TRACE_NAME)
+        series_name: str | None = None
+        series_epochs: int | None = None
+        if trace_events is not None:
+            # derived from the canonical projection, so the sidecar is
+            # byte-identical across backends and --jobs values
+            series = build_series(trace_events)
+            if series["schemes"]:
+                write_series(run_dir / SERIES_NAME, series)
+                series_name = SERIES_NAME
+                series_epochs = sum(
+                    table["rows"] for table in series["schemes"].values()
+                )
         manifest = {
             "format": MANIFEST_FORMAT,
             "version": MANIFEST_VERSION,
@@ -228,6 +248,8 @@ class RunStore:
             "supervisor": dict(supervisor) if supervisor is not None else None,
             "trace": trace_name,
             "trace_events": trace_count,
+            "timeseries": series_name,
+            "timeseries_epochs": series_epochs,
         }
         atomic_write_text(
             run_dir / MANIFEST_NAME,

@@ -16,6 +16,11 @@ follows both phases:
 :class:`WatchView` aggregates the polled events into the live picture a
 terminal wants: event counts, guard-ladder activity, and — from the
 ``progress`` heartbeats the sweep harnesses emit — throughput and ETA.
+With ``metrics=True`` it additionally runs each ``bank_snapshot``
+through the *same* per-epoch row projection the time-series sidecar
+uses (:func:`repro.obs.series._snapshot_row` semantics), so ``repro
+watch --metrics`` shows the latest epoch's miss rates, partition and
+bank pressure exactly as ``repro stats`` will report them afterwards.
 
 The polling loop's wall-clock sleeps are the point of this module; it is
 scoped under ``det002-allow`` alongside the other measurement harnesses.
@@ -109,11 +114,15 @@ class TailReader:
 class WatchView:
     """Rolling aggregation of a watched stream."""
 
+    metrics: bool = False
     total_events: int = 0
     counts: dict = field(default_factory=dict)
     guard_kinds: dict = field(default_factory=dict)
     last_progress: dict | None = None
     sources: list = field(default_factory=list)
+    #: per-scheme time-series state (metrics mode): the same shape the
+    #: sidecar builder keeps, plus the latest projected row.
+    series_state: dict = field(default_factory=dict)
 
     def update(self, chunk: TailChunk) -> None:
         """Absorb one poll (a reset rebuilds the view from scratch)."""
@@ -123,6 +132,7 @@ class WatchView:
             self.guard_kinds = {}
             self.last_progress = None
             self.sources = []
+            self.series_state = {}
         for event in chunk.events:
             etype = str(event.get("type", "?"))
             self.total_events += 1
@@ -136,6 +146,73 @@ class WatchView:
                 source = event.get("source")
                 if source and source not in self.sources:
                     self.sources.append(source)
+            if self.metrics:
+                self._track_series(event)
+
+    def _track_series(self, event: Mapping) -> None:
+        """Feed one event through the sidecar's row projection."""
+        from repro.obs.series import _snapshot_row
+
+        etype = event.get("type")
+        if etype not in (
+            "bank_snapshot", "epoch_decision", "guard_action", "epoch_skip"
+        ):
+            return
+        key = str(event.get("scheme", ""))
+        st = self.series_state.get(key)
+        if st is None:
+            st = self.series_state[key] = {
+                "prev": None, "decision": None,
+                "guard": 0, "skips": 0, "latest": None,
+            }
+        if etype == "epoch_decision":
+            st["decision"] = event
+        elif etype == "guard_action":
+            st["guard"] += 1
+        elif etype == "epoch_skip":
+            st["skips"] += 1
+        else:
+            try:
+                st["latest"] = _snapshot_row(event, st)
+            except (KeyError, TypeError, IndexError):
+                return  # damaged / partial snapshot: keep the old row
+            st["prev"] = event
+            st["guard"] = 0
+            st["skips"] = 0
+
+    def render_metrics(self) -> list[str]:
+        """One compact line per scheme from the latest projected row."""
+        lines = []
+        for key in sorted(self.series_state):
+            row = self.series_state[key]["latest"]
+            if row is None:
+                continue
+            label = f" [{key}]" if key else ""
+            parts = [f"epoch {row['epoch']}"]
+            miss = [
+                f"{row[name]:.3f}"
+                for name in sorted(row) if name.startswith("core_miss_rate.")
+            ]
+            if miss:
+                parts.append(f"miss={'/'.join(miss)}")
+            ways = [
+                str(row[name])
+                for name in sorted(row) if name.startswith("ways.")
+            ]
+            if ways:
+                parts.append(f"ways={'/'.join(ways)}")
+            delays = [
+                row[name]
+                for name in sorted(row)
+                if name.startswith("bank_queue_delay.")
+            ]
+            if delays:
+                parts.append(f"peak bank delay={max(delays):.2f}cyc")
+            parts.append(f"migr={row['migrations']}")
+            if row["guard_actions"]:
+                parts.append(f"guard={row['guard_actions']}")
+            lines.append(f"metrics{label}: " + ", ".join(parts))
+        return lines
 
     @property
     def complete(self) -> bool:
@@ -177,6 +254,8 @@ class WatchView:
                     f"{k}={v}" for k, v in sorted(self.guard_kinds.items())
                 )
             )
+        if self.metrics:
+            lines.extend(self.render_metrics())
         return "\n".join(lines)
 
 
@@ -196,17 +275,19 @@ def watch_trace(
     interval: float = 1.0,
     once: bool = False,
     timeout: float | None = None,
+    metrics: bool = False,
     emit: Callable[[str], None] = print,
 ) -> int:
     """Follow a (possibly still-growing) trace until it completes.
 
     Prints a status block whenever new events arrive; returns 0 once a
     terminal progress heartbeat is seen (or immediately with ``once``),
-    and 1 if ``timeout`` elapses first.  ``emit`` is injectable for
+    and 1 if ``timeout`` elapses first.  ``metrics`` appends the latest
+    epoch's time-series row per scheme.  ``emit`` is injectable for
     tests.
     """
     reader = TailReader(path)
-    view = WatchView()
+    view = WatchView(metrics=metrics)
     start = time.monotonic()
     while True:
         chunk = reader.poll()

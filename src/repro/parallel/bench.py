@@ -14,6 +14,10 @@ A fixed micro/meso benchmark ladder over the reproduction's hot paths:
 * ``detailed_epoch_batched``— the identical simulation on the
   struct-of-arrays engine (``--sim-backend batched``), asserted
   bit-identical and recorded with its measured speedup;
+* ``detailed_epoch_spans``  — the traced run again with the span
+  profiler on, asserted bit-identical, recording the per-phase
+  self-time profile (``span_self_s``) that ``repro bench --attribute``
+  consumes plus the spans-on overhead percentage the CI gate checks;
 * ``tracer_extend``         — parent-side merge of a worker event stream
   via the ``pre_validated`` fast path, with the re-validating merge
   measured alongside so the traced-overhead delta stays visible.
@@ -160,7 +164,7 @@ def _bench_detailed(quick: bool) -> list[dict]:
     # does not leak into the backend-speedup gate; full runs stay single
     reps = 3 if quick else 1
     cfg = scaled_config(scale, epoch_cycles=epoch)
-    (wall, traced_wall, batched_wall), (result, traced, batched) = _timed_mixes(
+    walls, runs = _timed_mixes(
         cfg,
         [
             RunSettings(duration_cycles=duration, seed=7),
@@ -170,11 +174,35 @@ def _bench_detailed(quick: bool) -> list[dict]:
             # the struct-of-arrays backend on the identical simulation; the
             # result must be bit-identical to the reference run measured above
             RunSettings(duration_cycles=duration, seed=7, sim_backend="batched"),
+            # traced run with the span profiler on — still bit-identical
+            # (spans are advisory events); its phase profile feeds
+            # 'repro bench --attribute' and the spans-off overhead gate
+            RunSettings(duration_cycles=duration, seed=7, trace=True,
+                        spans=True),
         ],
         reps,
     )
+    wall, traced_wall, batched_wall, spanned_wall = walls
+    result, traced, batched, spanned = runs
     if batched.to_dict() != result.to_dict():
         raise AssertionError("batched backend diverged from reference")
+
+    def _sim_payload(run):
+        # the simulation outcome alone: traced runs also carry their event
+        # stream, which legitimately differs (span events are advisory)
+        return {
+            k: v for k, v in run.to_dict().items()
+            if k not in ("events", "telemetry")
+        }
+
+    if _sim_payload(spanned) != _sim_payload(result):
+        raise AssertionError("span profiling perturbed the simulation")
+    from repro.telemetry.spans import self_seconds_by_phase
+
+    span_self = {
+        path: round(seconds, 6)
+        for path, seconds in self_seconds_by_phase(spanned.events).items()
+    }
     shared = {
         "scale": scale,
         "duration_cycles": duration,
@@ -193,6 +221,17 @@ def _bench_detailed(quick: bool) -> list[dict]:
             "detailed_epoch_batched", batched_wall,
             duration / batched_wall, "cycles/s",
             speedup_vs_reference=round(wall / batched_wall, 2),
+            **shared,
+        ),
+        _entry(
+            "detailed_epoch_spans", spanned_wall,
+            duration / spanned_wall, "cycles/s",
+            # overhead of span profiling relative to the plain traced run:
+            # the quantity the CI spans-off gate bounds
+            spanned_overhead_pct=round(
+                100.0 * (spanned_wall - traced_wall) / traced_wall, 2
+            ),
+            span_self_s=span_self,
             **shared,
         ),
     ]

@@ -29,6 +29,7 @@ from typing import Any
 
 from repro.errors import ConfigError, WorkerCrashError
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import SpanRecorder, maybe_span
 from repro.telemetry.timing import wall_clock
 from repro.telemetry.tracer import Tracer
 
@@ -89,6 +90,12 @@ class ParallelExecutor:
         order — so serial and parallel runs of the same sweep produce
         identical event streams (only the non-deterministic ``wall_s``
         field differs).
+    spans:
+        Optional parent-side :class:`~repro.telemetry.spans.SpanRecorder`:
+        the serial path wraps each item call in an ``executor.item`` span,
+        the pool path wraps each completion wait in ``executor.wait``.
+        Span events are advisory, so attaching a recorder never perturbs
+        the determinism contract.
     """
 
     def __init__(
@@ -99,12 +106,14 @@ class ParallelExecutor:
         initargs: tuple[Any, ...] = (),
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        spans: SpanRecorder | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self._initializer = initializer
         self._initargs = initargs
         self.tracer = tracer
         self.metrics = metrics
+        self.spans = spans
 
     def _emit_item(self, index: int, label: str, wall_s: float) -> None:
         if self.tracer is not None:
@@ -138,11 +147,16 @@ class ParallelExecutor:
             if self._initializer is not None:
                 self._initializer(*self._initargs)
             for index, item in enumerate(work):
-                if self.tracer is None and self.metrics is None:
+                if (
+                    self.tracer is None
+                    and self.metrics is None
+                    and self.spans is None
+                ):
                     yield fn(item)
                     continue
                 start = wall_clock()
-                result = fn(item)
+                with maybe_span(self.spans, "executor.item"):
+                    result = fn(item)
                 self._emit_item(
                     index,
                     labels[index] if labels else str(index),
@@ -191,7 +205,8 @@ class ParallelExecutor:
                     yield result
                     emitted += 1
                     continue
-                wait(pending.values(), return_when=FIRST_COMPLETED)
+                with maybe_span(self.spans, "executor.wait"):
+                    wait(pending.values(), return_when=FIRST_COMPLETED)
                 for index in [i for i, f in pending.items() if f.done()]:
                     try:
                         ready[index] = pending.pop(index).result()

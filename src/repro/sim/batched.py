@@ -247,6 +247,7 @@ def run_batched(system: "CMPSystem") -> None:  # noqa: C901 - one hot loop
     next_epoch = controller.next_epoch if controller is not None else _INF
     sanitizer = system.sanitizer
     tracer = system.tracer
+    spans = system.spans
     warmup = system.warmup_cycles
     max_cycles = system.max_cycles
     have_max = max_cycles is not None
@@ -589,6 +590,14 @@ def run_batched(system: "CMPSystem") -> None:  # noqa: C901 - one hot loop
             queue_delay=list(pdelay),
             migrations=nmig,
             writebacks=nwb,
+            core_hits=[
+                nh_base[cc] + sum(row[cc] for row in bhits)
+                for cc in range(ncores)
+            ],
+            core_misses=[
+                nm_base[cc] + sum(row[cc] for row in bmiss)
+                for cc in range(ncores)
+            ],
         )
 
     # -- initial scheduling (mirrors the reference pre-loop) -----------------
@@ -705,9 +714,16 @@ def run_batched(system: "CMPSystem") -> None:  # noqa: C901 - one hot loop
                 stop = max_cycles
                 break
             if t >= next_epoch:
-                flush_pending(c, poss_[c])
-                if sanitizer is not None:
-                    check_in()
+                if spans is None:
+                    flush_pending(c, poss_[c])
+                    if sanitizer is not None:
+                        check_in()
+                else:
+                    with spans.span("profiler.flush"):
+                        flush_pending(c, poss_[c])
+                    if sanitizer is not None:
+                        with spans.span("queue.drain"):
+                            check_in()
                 installed = controller.tick(t)
                 next_epoch = controller.next_epoch
                 refresh_partition()
@@ -1182,8 +1198,14 @@ def run_batched(system: "CMPSystem") -> None:  # noqa: C901 - one hot loop
     # hot loop does not maintain `arrival` per event)
     for a, cc in heap:
         arrival[cc] = a
-    flush_pending(-1, 0)
-    check_in()
+    if spans is None:
+        flush_pending(-1, 0)
+        check_in()
+    else:
+        with spans.span("profiler.flush"):
+            flush_pending(-1, 0)
+        with spans.span("queue.drain"):
+            check_in()
     for cc in range(ncores):
         timer = timers[cc]
         a = arrival[cc]

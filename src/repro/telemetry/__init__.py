@@ -5,7 +5,9 @@ schema-stable events (epoch decisions, guard ladder actions, bank counter
 snapshots, sweep-item timing) written as JSON-lines, a
 :class:`MetricsRegistry` of counters/gauges/histograms surfaced through
 ``SystemResult.telemetry``, a Chrome-trace exporter for timelines, and the
-per-epoch digest behind ``repro report``.
+per-epoch digest behind ``repro report``.  :mod:`repro.telemetry.spans`
+adds a hierarchical wall-clock span profiler whose records travel as
+advisory events inside the same stream (``repro report --spans``).
 
 The subsystem is opt-in by construction: nothing here is instantiated
 unless a run asks for tracing (``--trace`` / ``RunSettings.trace``), and
@@ -19,6 +21,7 @@ may differ.
 
 from repro.telemetry.chrome import chrome_trace, write_chrome_trace
 from repro.telemetry.events import (
+    ADVISORY_EVENTS,
     EVENT_SCHEMAS,
     SCHEMA_VERSION,
     TelemetryError,
@@ -37,27 +40,44 @@ from repro.telemetry.report import (
     check_trace,
     epoch_digest,
     render_json,
+    render_spans_text,
     render_text,
+)
+from repro.telemetry.spans import (
+    SpanRecorder,
+    maybe_span,
+    self_seconds_by_phase,
+    span_attribution,
+    span_records,
+    span_totals,
 )
 from repro.telemetry.tracer import Tracer, read_jsonl, write_jsonl
 
 __all__ = [
+    "ADVISORY_EVENTS",
     "Counter",
     "EVENT_SCHEMAS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "SCHEMA_VERSION",
+    "SpanRecorder",
     "Tracer",
     "TelemetryError",
     "canonical_events",
     "check_trace",
     "chrome_trace",
     "epoch_digest",
+    "maybe_span",
     "read_jsonl",
     "render_json",
+    "render_spans_text",
     "render_text",
     "schema_rows",
+    "self_seconds_by_phase",
+    "span_attribution",
+    "span_records",
+    "span_totals",
     "validate_event",
     "validate_events",
     "write_chrome_trace",

@@ -108,6 +108,10 @@ EVENT_SCHEMAS: dict[str, dict[str, FieldSpec]] = {
         "queue_delay": _LIST,
         "migrations": _INT,
         "writebacks": _INT,
+        #: cumulative per-core hit/miss totals (added with the time-series
+        #: store; both sim backends emit bit-identical values).
+        "core_hits": _OPT_LIST,
+        "core_misses": _OPT_LIST,
     },
     # one Monte Carlo mix outcome (analytic sweep).  ``policies`` holds
     # the per-policy projected misses when the sweep ranks registry
@@ -149,13 +153,26 @@ EVENT_SCHEMAS: dict[str, dict[str, FieldSpec]] = {
         "rung": _OPT_STR,  #: degradation-ladder rung the action ran under
         "detail": _OPT_STR,
     },
+    # one completed profiler span (see :mod:`repro.telemetry.spans`):
+    # a named phase's wall-clock window with its slash-joined ancestry
+    # path and nesting depth.  Advisory: spans describe where *host* time
+    # went, never what the run computed, so the canonical projection
+    # drops them and a spanned run's trace equals the unspanned run's.
+    "span": {
+        "name": _STR,
+        "path": _STR,
+        "depth": _INT,
+        "t0": _WALL,
+        "t1": _WALL,
+    },
 }
 
 #: event types that may legitimately differ between two otherwise
-#: identical runs (a retry happens only in the run whose worker crashed).
+#: identical runs (a retry happens only in the run whose worker crashed;
+#: a span exists only in the run that asked for profiling).
 #: :func:`canonical_events` removes them wholesale and renumbers ``seq``,
 #: so the determinism gate compares only the computed stream.
-ADVISORY_EVENTS = frozenset({"supervisor"})
+ADVISORY_EVENTS = frozenset({"supervisor", "span"})
 
 
 def validate_event(event: Mapping) -> list[str]:

@@ -46,6 +46,8 @@ def bucket_index(value: float) -> int:
     """
     if value <= BUCKET_SCALE:
         return 0
+    if math.isinf(value):  # ceil(inf) cannot convert; clamp directly
+        return MAX_BUCKET
     # log difference, not log of a quotient: value / BUCKET_SCALE can
     # overflow a float for huge observations
     index = int(math.ceil((math.log(value) - _LOG_SCALE) / _LOG_GROWTH))
@@ -120,6 +122,23 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram in place.
+
+        Buckets, count and total sum; min/max take the envelope.  Because
+        the bucket geometry is a module constant, merging worker-local
+        histograms is deterministic and order-independent — the result
+        equals a single histogram that observed the union multiset.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
 
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile (0 < q <= 1) from the bucket counts.

@@ -171,6 +171,40 @@ def render_text(events: Sequence[Mapping]) -> str:
     return "\n\n".join(blocks)
 
 
+def render_spans_text(events: Sequence[Mapping]) -> str:
+    """The span self-time attribution table (``repro report --spans``).
+
+    Self times sum to the total duration of the root spans by
+    construction (see :mod:`repro.telemetry.spans`), and the footer
+    prints both totals so the reconciliation is visible.
+    """
+    from repro.analysis.report import format_table
+    from repro.telemetry.spans import span_attribution, span_totals
+
+    rows = span_attribution(events)
+    if not rows:
+        return ("no span events in this trace (record one with "
+                "--spans on a traced run)")
+    totals = span_totals(events)
+    table = format_table(
+        ["phase", "count", "total s", "self s", "mean s", "self %"],
+        [
+            (r["path"], r["count"], f"{r['total_s']:.4f}",
+             f"{r['self_s']:.4f}", f"{r['mean_s']:.6f}",
+             f"{r['self_s'] / totals['wall_total_s'] * 100:.1f}"
+             if totals["wall_total_s"] else "-")
+            for r in rows
+        ],
+        title="Span self-time attribution",
+    )
+    footer = (
+        f"{totals['spans']} spans over {totals['paths']} phases; "
+        f"self-time total {totals['self_total_s']:.4f}s reconciles with "
+        f"root-span wall total {totals['wall_total_s']:.4f}s"
+    )
+    return f"{table}\n{footer}"
+
+
 def check_trace(events: Sequence[Mapping]) -> list[str]:
     """Schema-validate a loaded trace stream; returns the problem list."""
     problems = validate_events(events)

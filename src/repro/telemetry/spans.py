@@ -1,0 +1,198 @@
+"""Hierarchical span profiler: where does an epoch's wall time go?
+
+A :class:`SpanRecorder` is a stack of nested, named wall-clock timers.
+The hot paths (sim engines, executor, supervisor) open a span around each
+phase of interest — profiler observe/flush, policy decide, guard check,
+install, bank-queue drain — and the recorder keeps one flat record per
+completed span: its name, its slash-joined ancestry path, its depth and
+its ``[t0, t1)`` wall-clock window.
+
+The recorder follows the telemetry layer's two standing contracts:
+
+* **zero overhead when off** — nothing here is constructed unless a run
+  asks for spans (``--spans`` / ``RunSettings.spans``), and every
+  instrumentation site is guarded with ``if spans is not None`` (or goes
+  through :func:`maybe_span`, which returns a shared no-op context);
+* **determinism** — span timings are host wall clock, so the ``span``
+  event type is *advisory*: :func:`repro.telemetry.events.canonical_events`
+  drops it wholesale and a spanned run's canonical trace equals the
+  unspanned run's (``repro diff`` gates this in CI).
+
+All clock reads go through :func:`repro.telemetry.timing.wall_clock`,
+the tree's single sanctioned host-clock chokepoint.
+
+Attribution works on the *path* aggregate: a path's **self time** is its
+total duration minus the total duration of its direct children, so the
+self times of every path sum exactly to the total duration of the root
+spans — the reconciliation property ``repro report --spans`` prints.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from contextlib import AbstractContextManager, contextmanager, nullcontext
+from typing import TYPE_CHECKING
+
+from repro.telemetry.timing import wall_clock
+
+if TYPE_CHECKING:  # annotation-only; spans must stay a leaf module
+    from repro.telemetry.tracer import Tracer
+
+#: shared no-op context manager handed out when spans are off.
+#: ``contextlib.nullcontext()`` is stateless and reentrant, so one module
+#: level instance serves every call site without per-entry allocation.
+_NULL_SPAN = nullcontext()
+
+
+class SpanRecorder:
+    """Stack-shaped recorder of nested wall-clock spans.
+
+    Use :meth:`span` as a context manager around a phase, or the explicit
+    :meth:`push`/:meth:`pop` pair where a ``with`` block does not fit the
+    control flow.  Completed spans accumulate in :attr:`records` in
+    completion order (children before their parent, like a Chrome trace).
+    """
+
+    __slots__ = ("records", "_stack")
+
+    def __init__(self) -> None:
+        #: completed spans: ``{name, path, depth, t0, t1}`` dicts.
+        self.records: list[dict] = []
+        self._stack: list[tuple[str, str, int, float]] = []
+
+    def push(self, name: str) -> None:
+        """Open a span named ``name`` nested under the current span."""
+        if self._stack:
+            path = f"{self._stack[-1][1]}/{name}"
+        else:
+            path = name
+        self._stack.append((name, path, len(self._stack), wall_clock()))
+
+    def pop(self) -> None:
+        """Close the innermost open span."""
+        name, path, depth, t0 = self._stack.pop()
+        self.records.append(
+            {"name": name, "path": path, "depth": depth,
+             "t0": t0, "t1": wall_clock()}
+        )
+
+    @contextmanager
+    def span(self, name: str) -> Iterator["SpanRecorder"]:
+        self.push(name)
+        try:
+            yield self
+        finally:
+            self.pop()
+
+    @property
+    def open_depth(self) -> int:
+        """Number of spans currently open (0 when balanced)."""
+        return len(self._stack)
+
+    def emit_events(self, tracer: "Tracer") -> None:
+        """Flush every completed span into ``tracer`` as ``span`` events.
+
+        The event type is advisory (dropped from the canonical
+        projection), so flushing never perturbs determinism gates.
+        """
+        for rec in self.records:
+            tracer.emit("span", **rec)
+
+
+def maybe_span(
+    recorder: SpanRecorder | None, name: str
+) -> AbstractContextManager:
+    """``recorder.span(name)`` when spans are on, a shared no-op otherwise.
+
+    The off branch returns a module-level ``nullcontext`` — no allocation,
+    no clock read — so instrumentation sites can use one ``with`` statement
+    for both modes at epoch granularity.
+    """
+    if recorder is None:
+        return _NULL_SPAN
+    return recorder.span(name)
+
+
+def span_records(events: Iterable[Mapping]) -> list[dict]:
+    """The ``span`` events of a trace, as plain record dicts."""
+    return [
+        {"name": e["name"], "path": e["path"], "depth": e["depth"],
+         "t0": e["t0"], "t1": e["t1"]}
+        for e in events
+        if e.get("type") == "span"
+    ]
+
+
+def span_attribution(events: Iterable[Mapping]) -> list[dict]:
+    """Per-path wall-time attribution over a trace's span events.
+
+    Returns one row per distinct span path, sorted by descending self
+    time then path, with::
+
+        {path, name, depth, count, total_s, self_s, mean_s}
+
+    ``self_s`` is the path's total minus its direct children's totals;
+    summed over all paths it equals the total duration of the root spans
+    (``wall_total_s`` in :func:`span_totals`), so the table reconciles
+    with end-to-end wall time by construction.
+    """
+    totals: dict[str, dict] = {}
+    for rec in span_records(events):
+        row = totals.get(rec["path"])
+        if row is None:
+            row = totals[rec["path"]] = {
+                "path": rec["path"], "name": rec["name"],
+                "depth": rec["depth"], "count": 0, "total_s": 0.0,
+            }
+        row["count"] += 1
+        row["total_s"] += rec["t1"] - rec["t0"]
+    children_total: dict[str, float] = {}
+    for path, row in totals.items():
+        if "/" in path:
+            parent = path.rsplit("/", 1)[0]
+            children_total[parent] = (
+                children_total.get(parent, 0.0) + row["total_s"]
+            )
+    rows = []
+    for path, row in totals.items():
+        self_s = row["total_s"] - children_total.get(path, 0.0)
+        rows.append(
+            {**row, "self_s": self_s,
+             "mean_s": row["total_s"] / row["count"]}
+        )
+    rows.sort(key=lambda r: (-r["self_s"], r["path"]))
+    return rows
+
+
+def span_totals(events: Iterable[Mapping]) -> dict:
+    """Headline reconciliation over a trace's span events.
+
+    ``wall_total_s`` is the summed duration of the root (depth-0) spans;
+    ``self_total_s`` sums every path's self time.  The two are equal up
+    to float addition order — the invariant the report surfaces.
+    """
+    rows = span_attribution(events)
+    return {
+        "spans": sum(r["count"] for r in rows),
+        "paths": len(rows),
+        "wall_total_s": sum(
+            r["total_s"] for r in rows if r["depth"] == 0
+        ),
+        "self_total_s": sum(r["self_s"] for r in rows),
+    }
+
+
+def self_seconds_by_phase(events: Iterable[Mapping]) -> dict[str, float]:
+    """``{path: self_s}`` map — the shape ``repro bench --attribute``
+    stores and compares between two bench reports."""
+    return {r["path"]: r["self_s"] for r in span_attribution(events)}
+
+
+__all__ = (
+    "SpanRecorder",
+    "maybe_span",
+    "self_seconds_by_phase",
+    "span_attribution",
+    "span_records",
+    "span_totals",
+)

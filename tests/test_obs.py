@@ -473,3 +473,469 @@ class TestCli:
         capsys.readouterr()
         assert cli_main(["runs", "list", "--store", str(store)]) == 0
         assert "-" in capsys.readouterr().out  # trace column shows none
+
+
+# ---------------------------------------------------------------------------
+# per-epoch time series
+# ---------------------------------------------------------------------------
+
+
+def _snapshot_stream():
+    """A two-epoch trace with snapshots, decisions, guard/skip activity."""
+    t = Tracer()
+    t.emit_run_meta("simulate", detail="series test")
+    t.emit(
+        "epoch_decision", time=100.0, epoch=0, algorithm="bank-aware",
+        policy="bank-aware", ways=[4, 12], projected_misses=[10.0, 20.0],
+    )
+    t.emit("guard_action", time=110.0, epoch=0, kind="fallback",
+           detail="x", mode="equal-share")
+    t.emit(
+        "bank_snapshot", time=120.0, epoch=0, hits=[50, 70], misses=[10, 30],
+        occupancy=[32, 32], queue_served=[60, 100], queue_delay=[30.0, 400.0],
+        migrations=5, writebacks=2, core_hits=[80, 40], core_misses=[20, 20],
+    )
+    t.emit("epoch_skip", time=180.0, epoch=1, reason="warmup")
+    t.emit(
+        "bank_snapshot", time=200.0, epoch=1, hits=[90, 120],
+        misses=[20, 40], occupancy=[32, 32], queue_served=[110, 160],
+        queue_delay=[55.0, 700.0], migrations=9, writebacks=4,
+        core_hits=[150, 90], core_misses=[30, 40],
+    )
+    return t.events
+
+
+class TestSeries:
+    def test_rows_carry_windowed_deltas(self):
+        from repro.obs import build_series
+
+        payload = build_series(_snapshot_stream())
+        assert payload["format"] == "repro-timeseries"
+        table = payload["schemes"][""]
+        assert table["rows"] == 2
+        cols = table["columns"]
+        # first row is absolute, second the delta since the first snapshot
+        assert cols["bank_accesses.b0"] == [60, 50]
+        assert cols["bank_accesses.b1"] == [100, 60]
+        # mean queue delay = delay delta / served delta
+        assert cols["bank_queue_delay.b0"] == [0.5, 0.5]
+        assert cols["bank_queue_delay.b1"] == [4.0, 5.0]
+        assert cols["migrations"] == [5, 4]
+        assert cols["writebacks"] == [2, 2]
+        # per-core miss rate from the windowed core counters
+        assert cols["core_miss_rate.c0"] == [0.2, 0.125]
+        assert cols["core_miss_rate.c1"] == [pytest.approx(1 / 3),
+                                             pytest.approx(2 / 7)]
+        # the latest installed decision labels both rows
+        assert cols["ways.c0"] == [4, 4]
+        assert cols["ways.c1"] == [12, 12]
+        assert cols["policy"] == ["bank-aware", "bank-aware"]
+        # per-row action windows reset after each snapshot
+        assert cols["guard_actions"] == [1, 0]
+        assert cols["epoch_skips"] == [0, 1]
+
+    def test_series_ignores_streams_without_snapshots(self):
+        from repro.obs import build_series
+
+        assert build_series(_decision_stream())["schemes"] == {}
+
+    def test_bytes_are_insertion_order_independent(self):
+        from repro.obs import build_series, series_to_bytes
+
+        payload = build_series(_snapshot_stream())
+        shuffled = {k: payload[k] for k in reversed(list(payload))}
+        assert series_to_bytes(payload) == series_to_bytes(shuffled)
+        # and stable across calls (pinned gzip header, canonical JSON)
+        assert series_to_bytes(payload) == series_to_bytes(payload)
+
+    def test_write_load_round_trip_and_damage(self, tmp_path):
+        from repro.obs import build_series, load_series, write_series
+
+        payload = build_series(_snapshot_stream())
+        path = tmp_path / "timeseries.json.gz"
+        write_series(path, payload)
+        assert load_series(path) == payload
+        path.write_bytes(path.read_bytes()[:20])  # torn file
+        with pytest.raises(ObsError, match="time series"):
+            load_series(path)
+
+    def test_validate_series_catches_misalignment(self):
+        from repro.obs import build_series, validate_series
+
+        payload = json.loads(json.dumps(build_series(_snapshot_stream())))
+        assert validate_series(payload) == []
+        payload["schemes"][""]["columns"]["migrations"].append(0)
+        assert any("migrations" in p for p in validate_series(payload))
+        assert validate_series({"format": "nope"})
+        assert validate_series([1, 2]) == [
+            "series payload is not a JSON object"
+        ]
+
+    def test_sidecar_identical_across_backends(self):
+        from repro.obs import build_series, series_to_bytes
+        from repro.sim.runner import RunSettings, run_mix
+        from repro.workloads.mixes import TABLE_III_SETS
+
+        def run(backend):
+            result = run_mix(
+                TABLE_III_SETS[0], "bank-aware", CFG,
+                RunSettings(duration_cycles=450_000.0, seed=3, trace=True,
+                            sim_backend=backend),
+            )
+            return series_to_bytes(build_series(result.events))
+
+        assert run("reference") == run("batched")
+
+    def test_sidecar_identical_across_jobs(self):
+        from repro.obs import build_series, series_to_bytes
+        from repro.sim.runner import RunSettings, compare_schemes
+        from repro.workloads.mixes import TABLE_III_SETS
+
+        def run(jobs):
+            tracer = Tracer()
+            tracer.emit_run_meta("compare", detail="series jobs gate")
+            compare_schemes(
+                TABLE_III_SETS[0], CFG,
+                RunSettings(duration_cycles=450_000.0, seed=3, trace=True),
+                schemes=("equal-partitions", "bank-aware"), jobs=jobs,
+                tracer=tracer,
+            )
+            return series_to_bytes(build_series(tracer.events))
+
+        assert run(1) == run(2)
+
+    def test_store_archives_the_sidecar(self, tmp_path):
+        from repro.obs import load_series
+
+        store = RunStore(tmp_path / "runs")
+        record = store.archive(
+            source="simulate", config=CFG, trace_events=_snapshot_stream(),
+        )
+        assert record.manifest["timeseries"] == "timeseries.json.gz"
+        assert record.manifest["timeseries_epochs"] == 2
+        assert record.series_path.is_file()
+        assert load_series(record.series_path)["schemes"][""]["rows"] == 2
+        # a snapshot-free stream archives without a sidecar
+        bare = store.archive(
+            source="montecarlo", config=CFG, trace_events=_decision_stream(),
+        )
+        assert bare.manifest["timeseries"] is None
+        assert bare.series_path is None
+
+
+# ---------------------------------------------------------------------------
+# cross-run analytics
+# ---------------------------------------------------------------------------
+
+
+class TestAnalytics:
+    def test_exact_quantile_is_nearest_rank(self):
+        from repro.obs import exact_quantile
+
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert exact_quantile(values, 0.5) == 3.0
+        assert exact_quantile(values, 0.95) == 5.0
+        assert exact_quantile(values, 1.0) == 5.0
+        assert exact_quantile([7.0], 0.5) == 7.0
+        with pytest.raises(ObsError, match="quantile"):
+            exact_quantile(values, 0.0)
+        with pytest.raises(ObsError, match="empty"):
+            exact_quantile([], 0.5)
+
+    def test_series_stats_select_and_goldens(self):
+        from repro.obs import (
+            build_series,
+            render_stats_csv,
+            render_stats_json,
+            series_stats,
+        )
+
+        payload = build_series(_snapshot_stream())
+        rows = series_stats(payload, select="migrations")
+        assert [r["column"] for r in rows] == ["migrations"]
+        row = rows[0]
+        assert (row["count"], row["min"], row["max"]) == (2, 4.0, 5.0)
+        assert row["mean"] == 4.5
+        assert row["p50"] == 4.0  # nearest rank of [4, 5]
+        assert row["last"] == 4.0
+        # glob selection
+        globbed = series_stats(payload, select="ways.*")
+        assert [r["column"] for r in globbed] == ["ways.c0", "ways.c1"]
+        # non-numeric columns (policy) never produce rows
+        assert not series_stats(payload, select="policy")
+        # deterministic renderers: byte-stable across calls
+        assert render_stats_csv(rows) == render_stats_csv(rows)
+        assert render_stats_csv(rows).splitlines()[0] == (
+            "scheme,column,count,min,max,mean,p50,p95,last"
+        )
+        assert json.loads(render_stats_json(rows)) == rows
+
+    def test_resolve_series_paths_and_store(self, tmp_path):
+        from repro.obs import build_series, resolve_series, write_series
+
+        store = RunStore(tmp_path / "runs")
+        payload = build_series(_snapshot_stream())
+        gz = tmp_path / "s.json.gz"
+        write_series(gz, payload)
+        assert resolve_series(str(gz), store) == payload
+        trace = tmp_path / "t.jsonl"
+        write_jsonl(trace, _snapshot_stream())
+        assert resolve_series(str(trace), store) == payload
+        record = store.archive(
+            source="simulate", config=CFG, trace_events=_snapshot_stream(),
+        )
+        assert resolve_series(record.run_id, store) == payload
+        bare = store.archive(source="montecarlo", config=CFG)
+        with pytest.raises(ObsError, match="neither"):
+            resolve_series(bare.run_id, store)
+
+    @staticmethod
+    def _record(run_id, **manifest):
+        from pathlib import Path
+
+        from repro.obs import RunRecord
+
+        base = {
+            "created": "2026-08-01T00:00:00Z", "source": "simulate",
+            "config_fingerprint": "aabbccdd00112233",
+            "workloads": ["bzip2"], "headline": {},
+        }
+        return RunRecord(run_id, Path("/nonexistent") / run_id,
+                         {**base, **manifest})
+
+    def test_query_runs_filters(self):
+        from repro.obs import query_runs
+
+        records = [
+            self._record("r1", source="simulate",
+                         created="2026-07-01T00:00:00Z",
+                         headline={"miss_rate": 0.25}),
+            self._record("r2", source="compare",
+                         created="2026-08-01T12:00:00Z",
+                         workloads=["mcf", "art"],
+                         headline={"schemes": {
+                             "bank-aware": {"relative_miss_rate": 0.8},
+                             "no-partitions": {"relative_miss_rate": 1.0},
+                         }}),
+            self._record("r3", source="montecarlo",
+                         created="2026-08-05T00:00:00Z",
+                         config_fingerprint="ffee000011223344",
+                         headline={"mean_bank_aware_ratio": 0.9,
+                                   "mixes": 40}),
+        ]
+
+        def ids(**kw):
+            return [r.run_id for r in query_runs(records, **{
+                "source": None, "scheme": None, "workload": None,
+                "fingerprint": None, "since": None, "until": None, **kw,
+            })]
+
+        assert ids() == ["r1", "r2", "r3"]
+        assert ids(source="compare") == ["r2"]
+        assert ids(scheme="bank-aware") == ["r2"]
+        assert ids(workload="mcf") == ["r2"]
+        assert ids(workload="bzip") == ["r1", "r3"]
+        assert ids(fingerprint="aabb") == ["r1", "r2"]
+        assert ids(since="2026-08") == ["r2", "r3"]
+        assert ids(until="2026-07") == ["r1"]
+        assert ids(since="2026-08", until="2026-08-04") == ["r2"]
+
+    def test_runs_query_rows_and_renderer(self):
+        from repro.obs import render_runs_query_text, runs_query_rows
+
+        rows = runs_query_rows([
+            self._record("r2", headline={"schemes": {
+                "bank-aware": {"relative_miss_rate": 0.8},
+            }}),
+            self._record("r3", headline={"mean_bank_aware_ratio": 0.9,
+                                         "mixes": 40}),
+            self._record("r4", headline={}),
+        ])
+        assert rows[0]["fingerprint"] == "aabbccdd"
+        assert rows[0]["headline"] == "bank-aware=0.800"
+        assert rows[1]["headline"] == "bank_aware=0.900 over 40 mixes"
+        assert rows[2]["headline"] == "-"
+        text = render_runs_query_text(rows)
+        assert "Stored runs (3 matched)" in text
+        assert render_runs_query_text([]) == "no stored runs matched"
+
+    @staticmethod
+    def _bench_report(throughput, span_self):
+        return {
+            "format": "repro-bench", "version": 1,
+            "benchmarks": [
+                {"name": "detailed_epoch", "throughput": throughput * 2,
+                 "meta": {}},
+                {"name": "detailed_epoch_spans", "throughput": throughput,
+                 "meta": {"span_self_s": span_self}},
+            ],
+        }
+
+    def test_attribute_delta_finds_the_mover(self):
+        from repro.obs import attribute_delta, render_attribution_text
+
+        old = self._bench_report(100.0, {
+            "run": 5.0, "run/install": 3.0, "run/policy.decide": 2.0,
+        })
+        new = self._bench_report(80.0, {
+            "run": 5.0, "run/install": 3.0, "run/policy.decide": 8.0,
+        })
+        result = attribute_delta(old, new)
+        assert result["delta_pct"] == pytest.approx(-20.0)
+        assert result["mover"] == "run/policy.decide"
+        shifts = {p["path"]: p["share_shift"] for p in result["phases"]}
+        assert shifts["run/policy.decide"] == pytest.approx(0.3)
+        assert shifts["run"] == pytest.approx(-0.1875)
+        assert shifts["run/install"] == pytest.approx(-0.1125)
+        text = render_attribution_text(result)
+        assert "run/policy.decide" in text
+        assert "-20.0%" in text
+
+    def test_attribute_delta_requires_a_span_profile(self):
+        from repro.obs import attribute_delta
+
+        bare = {"format": "repro-bench", "version": 1, "benchmarks": []}
+        with pytest.raises(ObsError, match="no span profile"):
+            attribute_delta(bare, bare)
+
+
+class TestWatchMetrics:
+    def test_view_tracks_latest_series_row(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(path, _snapshot_stream())
+        view = WatchView(metrics=True)
+        view.update(TailReader(path).poll())
+        lines = view.render_metrics()
+        assert len(lines) == 1
+        assert "epoch 1" in lines[0]
+        assert "miss=0.125/0.286" in lines[0]
+        assert "peak bank delay=5.00cyc" in lines[0]
+        assert "ways=4/12" in lines[0]
+        assert "migr=4" in lines[0]
+        assert lines[0] in view.render()
+
+    def test_metrics_off_by_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(path, _snapshot_stream())
+        view = WatchView()
+        view.update(TailReader(path).poll())
+        assert view.series_state == {}
+        assert "metrics" not in view.render()
+
+    def test_reset_clears_series_state(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(path, _snapshot_stream())
+        reader, view = TailReader(path), WatchView(metrics=True)
+        view.update(reader.poll())
+        assert view.series_state
+        write_jsonl(path, _decision_stream())  # atomic replace, no snapshots
+        chunk = reader.poll()
+        assert chunk.reset
+        view.update(chunk)
+        assert all(st["latest"] is None for st in view.series_state.values())
+
+
+class TestCliObsV2:
+    SIM = ["simulate", "--set", "1", "--duration", "450000",
+           "--scale", "32", "--epoch", "150000", "--seed", "3"]
+
+    @pytest.fixture(scope="class")
+    def spanned_runs(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("obs-v2")
+        store = root / "store"
+        assert cli_main(self.SIM + ["--trace", str(root / "spanned.jsonl"),
+                                    "--spans", "--store", str(store)]) == 0
+        assert cli_main(self.SIM + ["--trace", str(root / "plain.jsonl")]) == 0
+        return root
+
+    def test_spans_require_tracing(self):
+        with pytest.raises(SystemExit, match="--trace"):
+            cli_main(self.SIM + ["--spans"])
+
+    def test_spanned_trace_is_canonically_identical(self, spanned_runs,
+                                                    capsys):
+        assert cli_main(["diff", str(spanned_runs / "spanned.jsonl"),
+                         str(spanned_runs / "plain.jsonl")]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_report_spans_reconciles(self, spanned_runs, capsys):
+        assert cli_main(["report", str(spanned_runs / "spanned.jsonl"),
+                         "--spans"]) == 0
+        out = capsys.readouterr().out
+        assert "reconciles with root-span wall total" in out
+        assert "run/policy.decide" in out
+        assert "run/install" in out
+
+    def test_stats_trace_and_run_id_agree(self, spanned_runs, capsys):
+        store = str(spanned_runs / "store")
+        assert cli_main(["runs", "list", "--store", store, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1 and rows[0]["run_id"].startswith("simulate-")
+        run_id = rows[0]["run_id"]
+
+        assert cli_main(["stats", str(spanned_runs / "spanned.jsonl"),
+                         "--format", "csv"]) == 0
+        from_trace = capsys.readouterr().out
+        assert cli_main(["stats", run_id, "--store", store,
+                         "--format", "csv"]) == 0
+        assert capsys.readouterr().out == from_trace
+        assert from_trace.splitlines()[0] == (
+            "scheme,column,count,min,max,mean,p50,p95,last"
+        )
+        assert any(line.startswith(",core_miss_rate.c0,")
+                   for line in from_trace.splitlines())
+
+    def test_stats_select_and_json(self, spanned_runs, capsys):
+        assert cli_main(["stats", str(spanned_runs / "spanned.jsonl"),
+                         "--select", "ways.*", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and all(r["column"].startswith("ways.") for r in rows)
+        assert cli_main(["stats", str(spanned_runs / "spanned.jsonl"),
+                         "--select", "migrations"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-epoch series stats" in out and "migrations" in out
+
+    def test_runs_query_filters_from_cli(self, spanned_runs, capsys):
+        store = str(spanned_runs / "store")
+        assert cli_main(["runs", "query", "--store", store,
+                         "--source", "simulate", "--workload", "galgel"]) == 0
+        out = capsys.readouterr().out
+        assert "Stored runs (1 matched)" in out
+        assert cli_main(["runs", "query", "--store", store,
+                         "--source", "chaos"]) == 0
+        assert "no stored runs matched" in capsys.readouterr().out
+        assert cli_main(["runs", "query", "--store", store, "--json"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 1
+
+    def test_watch_metrics_from_cli(self, spanned_runs, capsys):
+        assert cli_main(["watch", str(spanned_runs / "spanned.jsonl"),
+                         "--once", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out and "ways=" in out
+
+    def test_bench_attribute_from_cli(self, tmp_path, capsys):
+        def report(path, throughput, decide):
+            path.write_text(json.dumps({
+                "format": "repro-bench", "version": 1, "benchmarks": [
+                    {"name": "detailed_epoch_spans",
+                     "throughput": throughput,
+                     "meta": {"span_self_s": {"run": 4.0,
+                                              "run/install": 2.0,
+                                              "run/policy.decide": decide}}},
+                ],
+            }))
+            return str(path)
+
+        old = report(tmp_path / "old.json", 100.0, 1.0)
+        new = report(tmp_path / "new.json", 90.0, 5.0)
+        assert cli_main(["bench", "--attribute", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "largest phase shift: run/policy.decide" in out
+        assert "-10.0%" in out
+
+    def test_bench_attribute_requires_span_profile(self, tmp_path, capsys):
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps({"format": "repro-bench", "version": 1,
+                                    "benchmarks": []}))
+        assert cli_main(["bench", "--attribute", str(bare), str(bare)]) == 2
+        assert "no span profile" in capsys.readouterr().err

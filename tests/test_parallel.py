@@ -393,12 +393,18 @@ class TestBenchSuite:
             "montecarlo_slice",
             "detailed_epoch",
             "detailed_epoch_batched",
+            "detailed_epoch_spans",
             "tracer_extend",
         ]
         by_name = {b["name"]: b for b in on_disk["benchmarks"]}
         batched = by_name["detailed_epoch_batched"]
         assert batched["meta"]["speedup_vs_reference"] > 1.0
         assert batched["wall_s"] < by_name["detailed_epoch"]["wall_s"]
+        spanned = by_name["detailed_epoch_spans"]
+        profile = spanned["meta"]["span_self_s"]
+        assert "run" in profile
+        assert all(v >= 0.0 for v in profile.values())
+        assert isinstance(spanned["meta"]["spanned_overhead_pct"], float)
         for bench in on_disk["benchmarks"]:
             assert bench["wall_s"] > 0.0
             assert bench["throughput"] > 0.0

@@ -22,15 +22,21 @@ from repro.telemetry import (
     EVENT_SCHEMAS,
     SCHEMA_VERSION,
     MetricsRegistry,
+    SpanRecorder,
     TelemetryError,
     Tracer,
     canonical_events,
     check_trace,
     chrome_trace,
     epoch_digest,
+    maybe_span,
     read_jsonl,
+    render_spans_text,
     render_text,
     schema_rows,
+    self_seconds_by_phase,
+    span_attribution,
+    span_totals,
     validate_event,
     write_jsonl,
 )
@@ -216,7 +222,7 @@ class TestEventSchema:
         assert canon == canonical_events(clean)  # chaos == clean
 
     def test_supervisor_event_validates(self):
-        assert ADVISORY_EVENTS == {"supervisor"}
+        assert ADVISORY_EVENTS == {"supervisor", "span"}
         assert validate_event(
             {"type": "supervisor", "seq": 4, "kind": "quarantine",
              "index": 7, "attempt": 3, "label": "mix-7", "rung": "serial",
@@ -323,6 +329,74 @@ class TestMetrics:
             h.quantile(0.0)
         with pytest.raises(ValueError, match="quantile"):
             h.quantile(1.5)
+
+    def test_bucket_index_boundary_values(self):
+        # zero and everything at-or-below the scale floor share bucket 0
+        assert metrics.bucket_index(0.0) == 0
+        assert metrics.bucket_index(5e-324) == 0  # smallest denormal
+        assert metrics.bucket_index(1e-300) == 0
+        assert metrics.bucket_index(metrics.BUCKET_SCALE) == 0
+        # an exact computed edge may round to either adjacent bucket (float
+        # log), but containment must hold and the choice is deterministic
+        for index in (1, 7, 100, metrics.MAX_BUCKET - 1):
+            edge = metrics.bucket_upper_bound(index)
+            got = metrics.bucket_index(edge)
+            assert got in (index, index + 1)
+            assert metrics.bucket_upper_bound(got) >= edge
+            assert metrics.bucket_upper_bound(got - 1) <= edge
+            # nudged past the edge, the value spills into the next bucket
+            assert metrics.bucket_index(edge * 1.0000001) == index + 1
+        # the overflow bucket catches everything beyond the table, inf too
+        assert metrics.bucket_index(1e300) == metrics.MAX_BUCKET
+        assert metrics.bucket_index(float("inf")) == metrics.MAX_BUCKET
+
+    def test_bucket_upper_bounds_grow_geometrically(self):
+        bounds = [
+            metrics.bucket_upper_bound(i) for i in range(metrics.MAX_BUCKET)
+        ]
+        assert bounds == sorted(bounds)
+        for lo, hi in zip(bounds, bounds[1:]):
+            assert hi == pytest.approx(lo * metrics.BUCKET_GROWTH)
+
+    def test_quantile_clamps_to_observed_envelope(self):
+        # bucket upper bounds overestimate; the min/max envelope must win
+        h = Histogram("w")
+        h.observe(1.0)
+        h.observe(1.0000001)  # same bucket, distinct min/max
+        assert h.quantile(0.01) >= h.min
+        assert h.quantile(1.0) == h.max
+        single = Histogram("s")
+        single.observe(3.7)
+        for q in (0.001, 0.5, 0.999, 1.0):
+            assert single.quantile(q) == 3.7
+
+    def test_histogram_merge_matches_combined_observation(self):
+        values_a = [0.001 * (i % 13 + 1) for i in range(60)]
+        values_b = [0.02 * (i % 7 + 1) for i in range(41)]
+        a, b, combined = Histogram("a"), Histogram("b"), Histogram("c")
+        for v in values_a:
+            a.observe(v)
+            combined.observe(v)
+        for v in values_b:
+            b.observe(v)
+            combined.observe(v)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.total == pytest.approx(combined.total)
+        assert a.min == combined.min
+        assert a.max == combined.max
+        assert a.buckets == combined.buckets
+        for q in (0.5, 0.95, 0.99):
+            assert a.quantile(q) == combined.quantile(q)
+
+    def test_histogram_merge_empty_sides(self):
+        a, b = Histogram("a"), Histogram("b")
+        b.observe(2.0)
+        a.merge(b)  # empty += populated
+        assert (a.count, a.min, a.max) == (1, 2.0, 2.0)
+        a.merge(Histogram("empty"))  # populated += empty: no-op
+        assert (a.count, a.min, a.max) == (1, 2.0, 2.0)
+        assert Histogram("e").summary()["count"] == 0
 
 
 # ---------------------------------------------------------------------------
@@ -510,3 +584,176 @@ class TestSerialParallelStreamEquality:
         assert canonical_events(pooled) == canonical_events(serial)
         points = [e for e in serial if e["type"] == "mc_point"]
         assert [e["index"] for e in points] == list(range(6))
+
+
+# ---------------------------------------------------------------------------
+# span profiler
+# ---------------------------------------------------------------------------
+
+
+class TestSpanRecorder:
+    def test_nesting_builds_slash_paths_and_depths(self):
+        rec = SpanRecorder()
+        with rec.span("run"):
+            with rec.span("decide"):
+                pass
+            with rec.span("install"):
+                with rec.span("sanitize"):
+                    pass
+        assert rec.open_depth == 0
+        # completion order: children close before their parents
+        assert [r["path"] for r in rec.records] == [
+            "run/decide", "run/install/sanitize", "run/install", "run",
+        ]
+        assert [r["depth"] for r in rec.records] == [1, 2, 1, 0]
+        for r in rec.records:
+            assert r["t1"] >= r["t0"]
+
+    def test_pop_unwinds_on_exception(self):
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("run"):
+                raise RuntimeError("boom")
+        assert rec.open_depth == 0
+        assert [r["path"] for r in rec.records] == ["run"]
+
+    def test_maybe_span_returns_shared_noop_when_off(self):
+        a = maybe_span(None, "x")
+        b = maybe_span(None, "y")
+        assert a is b  # one module-level nullcontext, no allocation
+        with a:
+            pass
+        rec = SpanRecorder()
+        with maybe_span(rec, "z"):
+            pass
+        assert [r["path"] for r in rec.records] == ["z"]
+
+    def test_emit_events_flushes_advisory_records(self):
+        rec = SpanRecorder()
+        with rec.span("run"):
+            pass
+        tracer = Tracer()
+        rec.emit_events(tracer)
+        assert [e["type"] for e in tracer.events] == ["span"]
+        assert validate_event(tracer.events[0]) == []
+        # advisory: the canonical projection drops spans wholesale
+        assert canonical_events(tracer.events) == []
+
+
+class TestSpanAttribution:
+    @staticmethod
+    def _events(records):
+        return [{"type": "span", "seq": i, **r}
+                for i, r in enumerate(records)]
+
+    def test_self_time_subtracts_direct_children(self):
+        events = self._events([
+            {"name": "decide", "path": "run/decide", "depth": 1,
+             "t0": 1.0, "t1": 4.0},
+            {"name": "install", "path": "run/install", "depth": 1,
+             "t0": 4.0, "t1": 6.0},
+            {"name": "run", "path": "run", "depth": 0,
+             "t0": 0.0, "t1": 10.0},
+        ])
+        rows = {r["path"]: r for r in span_attribution(events)}
+        assert rows["run"]["self_s"] == pytest.approx(5.0)  # 10 - 3 - 2
+        assert rows["run/decide"]["self_s"] == pytest.approx(3.0)
+        assert rows["run/install"]["self_s"] == pytest.approx(2.0)
+        totals = span_totals(events)
+        assert totals["spans"] == 3
+        assert totals["paths"] == 3
+        assert totals["wall_total_s"] == pytest.approx(10.0)
+        # the reconciliation invariant: self times sum to the root total
+        assert totals["self_total_s"] == pytest.approx(
+            totals["wall_total_s"]
+        )
+
+    def test_rows_sort_by_descending_self_time(self):
+        events = self._events([
+            {"name": "a", "path": "run/a", "depth": 1, "t0": 0.0, "t1": 1.0},
+            {"name": "b", "path": "run/b", "depth": 1, "t0": 1.0, "t1": 8.0},
+            {"name": "run", "path": "run", "depth": 0, "t0": 0.0, "t1": 9.0},
+        ])
+        paths = [r["path"] for r in span_attribution(events)]
+        assert paths == ["run/b", "run", "run/a"]
+
+    def test_self_seconds_by_phase_shape(self):
+        events = self._events([
+            {"name": "run", "path": "run", "depth": 0, "t0": 0.0, "t1": 2.0},
+        ])
+        assert self_seconds_by_phase(events) == {"run": pytest.approx(2.0)}
+
+    def test_render_spans_text_reconciles(self):
+        events = self._events([
+            {"name": "decide", "path": "run/decide", "depth": 1,
+             "t0": 1.0, "t1": 4.0},
+            {"name": "run", "path": "run", "depth": 0,
+             "t0": 0.0, "t1": 10.0},
+        ])
+        text = render_spans_text(events)
+        assert "run/decide" in text
+        assert "reconciles with root-span wall total 10.0000s" in text
+        assert "self-time total 10.0000s" in text
+
+    def test_render_spans_text_without_spans(self):
+        assert "no span events" in render_spans_text([])
+
+
+class TestSpannedDetailedRun:
+    SETTINGS = dict(duration_cycles=450_000.0, seed=3)
+
+    def test_spans_require_tracing(self):
+        from repro.resilience import ConfigError
+
+        with pytest.raises(ConfigError, match="requires tracing"):
+            run_mix(TABLE_III_SETS[0], "bank-aware", CFG,
+                    RunSettings(**self.SETTINGS, spans=True))
+
+    def test_spanned_run_is_canonically_identical(self):
+        traced = run_mix(TABLE_III_SETS[0], "bank-aware", CFG,
+                         RunSettings(**self.SETTINGS, trace=True))
+        spanned = run_mix(TABLE_III_SETS[0], "bank-aware", CFG,
+                          RunSettings(**self.SETTINGS, trace=True,
+                                      spans=True))
+        assert spanned.total_misses == traced.total_misses
+        assert spanned.total_instructions == traced.total_instructions
+        assert [tuple(e.ways) for e in spanned.epochs] \
+            == [tuple(e.ways) for e in traced.epochs]
+        assert canonical_events(spanned.events) \
+            == canonical_events(traced.events)
+        assert check_trace(spanned.events) == []
+        # the epoch phases appear with their documented names
+        paths = {e["path"] for e in spanned.events if e["type"] == "span"}
+        assert "run" in paths
+        assert {"run/profiler.observe", "run/policy.decide", "run/install"} \
+            <= paths
+        # spans flush before the final epoch=-1 snapshot, preserving the
+        # trailing-snapshot contract
+        assert spanned.events[-1]["type"] == "bank_snapshot"
+        assert spanned.events[-1]["epoch"] == -1
+
+    def test_spanned_batched_backend_matches_reference(self):
+        ref = run_mix(TABLE_III_SETS[0], "bank-aware", CFG,
+                      RunSettings(**self.SETTINGS, trace=True, spans=True,
+                                  sanitize=True))
+        bat = run_mix(TABLE_III_SETS[0], "bank-aware", CFG,
+                      RunSettings(**self.SETTINGS, trace=True, spans=True,
+                                  sanitize=True, sim_backend="batched"))
+        assert canonical_events(bat.events) == canonical_events(ref.events)
+        # the batched engine profiles its deferred-flush phases
+        bat_paths = {e["path"] for e in bat.events if e["type"] == "span"}
+        assert "run/profiler.flush" in bat_paths
+        assert "run/queue.drain" in bat_paths
+
+    def test_chrome_trace_renders_span_track(self):
+        spanned = run_mix(TABLE_III_SETS[0], "bank-aware", CFG,
+                          RunSettings(**self.SETTINGS, trace=True,
+                                      spans=True))
+        payload = chrome_trace(spanned.events)
+        span_events = [
+            e for e in payload["traceEvents"]
+            if e.get("pid") == 3 and e.get("ph") == "X"
+        ]
+        assert span_events
+        assert min(e["ts"] for e in span_events) == 0.0  # origin-relative
+        assert all(e["dur"] >= 0.0 for e in span_events)
